@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/groundtruth"
+	"kronlab/internal/rejection"
+)
+
+// runRejection reproduces Sec. IV-C (Def. 8): jointly generate the nested
+// family G_C ⊇ G_{C,.99} ⊇ G_{C,.95} ⊇ G_{C,.9}, confirm the surviving
+// triangle statistics track the ν³/ν² expectations, and show the degree
+// distribution smoothing that motivates rejection as a benchmark hygiene
+// measure.
+func runRejection(w io.Writer) error {
+	a := connected(gen.PrefAttach(40, 3, 121))
+	fa := groundtruth.NewFactor(a)
+	c, err := core.Product(a, a)
+	if err != nil {
+		return err
+	}
+	tauC := groundtruth.GlobalTriangles(fa, fa)
+	fmt.Fprintf(w, "C = A⊗A with A = PrefAttach(40,3): %v, τ_C = %s (ground truth).\n\n",
+		c, fmtInt(tauC))
+
+	h := rejection.NewHasher(424242)
+	levels := []float64{1, 0.99, 0.95, 0.9}
+	family := rejection.Family(c, h, levels)
+	var rows [][]string
+	for i, nu := range levels {
+		sub := family[i]
+		tau := analytics.GlobalTriangles(sub)
+		expect := nu * nu * nu * float64(tauC)
+		rel := (float64(tau) - expect) / expect * 100
+		rows = append(rows, []string{
+			fmt.Sprintf("ν = %.2f", nu),
+			fmtInt(sub.NumEdges()),
+			fmt.Sprintf("%.1f%%", float64(sub.NumEdges())/float64(c.NumEdges())*100),
+			fmtInt(tau),
+			fmtInt(int64(expect)),
+			fmt.Sprintf("%+.1f%%", rel),
+		})
+	}
+	table(w, []string{"Level", "edges", "kept", "triangles", "E[τ] = ν³·τ_C", "deviation"}, rows)
+
+	// Nestedness check (joint generation property).
+	nested := true
+	for i := 1; i < len(family); i++ {
+		family[i].Arcs(func(u, v int64) bool {
+			if !family[i-1].HasArc(u, v) {
+				nested = false
+				return false
+			}
+			return true
+		})
+	}
+	fmt.Fprintf(w, "\nFamily is nested (G_{C,ν} ⊆ G_{C,ν'} for ν ≤ ν'): %s\n", check(nested))
+
+	// Degree-distribution smoothing: distinct degree values before/after.
+	before := analytics.NewHistogram(c.Degrees())
+	after := analytics.NewHistogram(family[3].Degrees()) // ν = 0.9
+	fmt.Fprintf(w, "\nDegree-distribution hygiene (Sec. IV-C motivation): the exact\n")
+	fmt.Fprintf(w, "Kronecker product only realizes composite degrees d_i·d_k — %d\n", len(before.Keys()))
+	fmt.Fprintf(w, "distinct values with holes; after ν = 0.9 rejection the product has\n")
+	fmt.Fprintf(w, "%d distinct degrees, filling the gaps. %s\n",
+		len(after.Keys()), check(len(after.Keys()) > len(before.Keys())))
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/spectral"
+)
+
+// runSpectral is an extension experiment (beyond the paper's evaluation
+// section) making its Sec. IV-C warning concrete: "due to the Kronecker
+// structure a spectral method can efficiently solve for large swathes of
+// the eigenspace of C". We eigen-solve only the factors, predict the full
+// product spectrum, and recover the product's exact triangle count from
+// Σλ³/6 — an algorithm that exploits the structure "without the
+// developer even realizing it".
+func runSpectral(w io.Writer) error {
+	a := gen.ER(24, 0.3, 51)
+	b := gen.PrefAttach(20, 2, 52)
+	eigA, err := spectral.AdjacencyEig(a)
+	if err != nil {
+		return err
+	}
+	eigB, err := spectral.AdjacencyEig(b)
+	if err != nil {
+		return err
+	}
+	c, err := core.Product(a, b)
+	if err != nil {
+		return err
+	}
+	// Full product spectrum from factor spectra.
+	pred := spectral.KronEigenvalues(eigA, eigB)
+	got, err := spectral.AdjacencyEig(c)
+	if err != nil {
+		return err
+	}
+	maxDiff := 0.0
+	for i := range got {
+		if d := math.Abs(got[i] - pred[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	lam, err := spectral.PowerIteration(a, b, 300)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Factors ER(24,.3) and PrefAttach(20,2); C has %d vertices.\n\n", c.NumVertices())
+	table(w, []string{"Quantity", "From factors only", "Direct on product", "OK"}, [][]string{
+		{"full spectrum (480 eigenvalues)", "λᵢ·μⱼ products", fmt.Sprintf("max |Δλ| = %.2e", maxDiff), check(maxDiff < 1e-6)},
+		{"λmax(C) via implicit power iteration", fmtFloat(lam), fmtFloat(got[len(got)-1]), check(math.Abs(lam-got[len(got)-1]) < 1e-3)},
+		{"triangles τ_C = Σλ³/6", fmtFloat(spectral.SpectralTriangles(pred)), fmtInt(analytics.GlobalTriangles(c)),
+			check(math.Abs(spectral.SpectralTriangles(pred)-float64(analytics.GlobalTriangles(c))) < 0.5)},
+	})
+	fmt.Fprintf(w, "\nThe implicit power iteration uses y = A·X·Bᵗ (never forming C):\n")
+	fmt.Fprintf(w, "cost O(arcs_A·n_B + n_A·arcs_B) per step instead of O(arcs_C).\n")
+	fmt.Fprintf(w, "This is precisely why Sec. IV-C recommends probabilistic edge\n")
+	fmt.Fprintf(w, "rejection for good-faith benchmarks (experiment E11).\n")
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kronlab/internal/dist"
+	"kronlab/internal/gen"
+)
+
+// runGenerator reproduces the Sec. III generator cost model: generation
+// time O(|E_A|·|E_B|/R), per-rank storage O(|E_A|/R + |E_B| + owned), and
+// the communication volume of owner routing, swept over rank counts. The
+// paper's CORAL2 anecdote (trillion edges on 1.57M cores) becomes an
+// edges/second throughput row at laptop scale — the shape to check is
+// that work per rank, not wall clock on one OS thread, scales as 1/R.
+func runGenerator(w io.Writer) error {
+	a := gen.MustRMAT(gen.Graph500Params(7, 101))
+	b := gen.MustRMAT(gen.Graph500Params(7, 202))
+	fmt.Fprintf(w, "Factors: two Graph500 RMAT scale-7 graphs (paper used two scale-18\n")
+	fmt.Fprintf(w, "Graph500 graphs for the trillion-edge CORAL2 run).\n")
+	fmt.Fprintf(w, "A: %v, B: %v, |arcs_C| = %s.\n\n", a, b, fmtInt(a.NumArcs()*b.NumArcs()))
+
+	var rows [][]string
+	for _, r := range []int{1, 2, 4, 8, 16} {
+		start := time.Now()
+		res, err := dist.Generate1D(a, b, r, nil)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		st := res.Stats
+		// Ideal per-rank expansion work and achieved max (load balance).
+		ideal := st.EdgesGenerated / int64(r)
+		rows = append(rows, []string{
+			fmt.Sprint(r),
+			fmtInt(st.EdgesGenerated),
+			fmtInt(ideal),
+			fmtInt(res.MaxRankStorage()),
+			fmtInt(st.EdgesRouted),
+			fmtInt(st.BytesSent),
+			fmt.Sprintf("%.1fM/s", float64(st.EdgesGenerated)/elapsed.Seconds()/1e6),
+		})
+	}
+	table(w, []string{"R", "edges generated", "ideal edges/rank", "max stored/rank", "edges routed", "bytes sent", "throughput"}, rows)
+	fmt.Fprintf(w, "\nExpected shape: edges generated is constant (= |arcs_A|·|arcs_B|),\n")
+	fmt.Fprintf(w, "ideal per-rank work falls as 1/R, and routed volume approaches\n")
+	fmt.Fprintf(w, "(1 − 1/R) of generated edges under a hashed owner map.\n\n")
+
+	// Generation straight to a sharded on-disk store (the "if edges are
+	// being stored" path of Sec. III) — O(batch) memory per rank.
+	dir, err := os.MkdirTemp("", "kron-e2-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	start := time.Now()
+	st, stats, err := dist.Generate1DToStore(a, b, 8, dir)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "Generate-to-disk on 8 ranks: %s edges streamed to %d shards in %v\n",
+		fmtInt(st.TotalEdges()), st.Shards(), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "(%.1fM edges/s; complete: %s)\n",
+		float64(st.TotalEdges())/elapsed.Seconds()/1e6,
+		check(st.TotalEdges() == stats.EdgesGenerated))
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/groundtruth"
+)
+
+// runTriangles reproduces Sec. IV-A: ground-truth vertex and edge
+// triangle counts for C = (A+I)⊗(B+I) from Cor. 1 and (corrected) Cor. 2,
+// validated against exact counting on the materialized product, with the
+// sublinear-vs-linear cost contrast the paper advertises.
+func runTriangles(w io.Writer) error {
+	a := connected(gen.PrefAttach(60, 3, 11))
+	b := connected(gen.MustRMAT(gen.Graph500Params(6, 12)))
+	fa, fb := groundtruth.NewFactor(a), groundtruth.NewFactor(b)
+
+	start := time.Now()
+	c, err := core.ProductWithSelfLoops(a, b)
+	if err != nil {
+		return err
+	}
+	genTime := time.Since(start)
+
+	fmt.Fprintf(w, "A: %v, B: %v → C = (A+I)⊗(B+I): %v (materialized in %v).\n\n",
+		a, b, c, genTime.Round(time.Millisecond))
+
+	// Exact counting on C (the expensive oracle).
+	start = time.Now()
+	exact := analytics.Triangles(c)
+	exactTime := time.Since(start)
+
+	// Ground truth from factors (Cor. 1 vector + aggregate).
+	start = time.Now()
+	pred := groundtruth.VertexTrianglesFullLoops(fa, fb)
+	tau := groundtruth.GlobalTrianglesFullLoops(fa, fb)
+	gtTime := time.Since(start)
+
+	vertexOK := true
+	for p := range pred {
+		if pred[p] != exact.Vertex[p] {
+			vertexOK = false
+			break
+		}
+	}
+	edgeOK := true
+	var checkedEdges int64
+	idx := int64(-1)
+	c.Arcs(func(u, v int64) bool {
+		idx++
+		if u == v {
+			return true
+		}
+		checkedEdges++
+		if groundtruth.EdgeTrianglesFullLoopsAt(fa, fb, u, v) != exact.Arc[idx] {
+			edgeOK = false
+			return false
+		}
+		return true
+	})
+
+	table(w, []string{"Quantity", "Ground truth (factors)", "Exact (product)", "OK"}, [][]string{
+		{"global triangles τ_C", fmtInt(tau), fmtInt(exact.Global), check(tau == exact.Global)},
+		{"vertex counts t_p (all)", fmt.Sprintf("%d values", len(pred)), "counted", check(vertexOK)},
+		{"edge counts Δ_pq (all arcs)", fmtInt(checkedEdges), "counted", check(edgeOK)},
+	})
+	fmt.Fprintf(w, "\nCost contrast (the paper's O(|E_C|^{p/2}) claim): ground truth from\n")
+	fmt.Fprintf(w, "factors took %v; exact counting on C took %v (%.0fx).\n",
+		gtTime.Round(time.Microsecond), exactTime.Round(time.Microsecond),
+		float64(exactTime)/float64(gtTime))
+	fmt.Fprintf(w, "\nNote: the printed Cor. 2 overcounts the δ(i,j)/δ(k,l) diagonal cases\n")
+	fmt.Fprintf(w, "by 2; this implementation uses the corrected appendix expansion (see\n")
+	fmt.Fprintf(w, "groundtruth.EdgeTrianglesFullLoopsAt), which is what validates above.\n")
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/groundtruth"
+)
+
+// runCloseness reproduces Sec. V-B: closeness centrality ζ_C(p) at a
+// subset of product vertices from factor hop rows, comparing the direct
+// O(n_A·n_B) double sum with the compressed O(h*) histogram form, and
+// validating both against BFS on a materialized product at reduced scale.
+func runCloseness(w io.Writer) error {
+	// Full scale: gnutella-like factor, sample r vertices of C.
+	a := gen.GnutellaLike(2019).WithFullSelfLoops()
+	fa := groundtruth.NewFactor(a)
+	fa.EnsureDistances()
+	const samples = 32
+	stride := fa.N() * fa.N() / samples
+
+	start := time.Now()
+	direct := make([]float64, samples)
+	for s := 0; s < samples; s++ {
+		direct[s] = groundtruth.ClosenessAt(fa, fa, int64(s)*stride)
+	}
+	directTime := time.Since(start)
+
+	start = time.Now()
+	compressed := make([]float64, samples)
+	for s := 0; s < samples; s++ {
+		compressed[s] = groundtruth.ClosenessCompressedAt(fa, fa, int64(s)*stride)
+	}
+	compressedTime := time.Since(start)
+
+	agree := true
+	for s := 0; s < samples; s++ {
+		if math.Abs(direct[s]-compressed[s]) > 1e-6*math.Max(1, direct[s]) {
+			agree = false
+		}
+	}
+	fmt.Fprintf(w, "ζ_C at %d sampled vertices of C = A⊗A (n_C = %s), A = gnutella-like:\n\n",
+		samples, fmtInt(fa.N()*fa.N()))
+	table(w, []string{"Form", "Cost model", "Time for 32 vertices"}, [][]string{
+		{"direct double sum (Thm. 4)", "O(n_A·n_B) per vertex", fmt.Sprint(directTime.Round(time.Millisecond))},
+		{"compressed histogram (Sec. V-B)", "O(r·n log n + r²·h*)", fmt.Sprint(compressedTime.Round(time.Microsecond))},
+	})
+	fmt.Fprintf(w, "\nBoth forms agree on every sample: %s — and the paper's predicted\n", check(agree))
+	fmt.Fprintf(w, "speedup of the factored form is the ratio above.\n\n")
+
+	// Reduced scale: validate against BFS on a materialized product.
+	small, _ := gen.PrefAttach(40, 2, 88).LargestComponent()
+	sl := small.WithFullSelfLoops()
+	fs := groundtruth.NewFactor(sl)
+	fs.EnsureDistances()
+	c, err := core.Product(sl, sl)
+	if err != nil {
+		return err
+	}
+	okCount, total := 0, 0
+	for p := int64(0); p < c.NumVertices(); p += 17 {
+		total++
+		exact := analytics.Closeness(c, p)
+		pred := groundtruth.ClosenessCompressedAt(fs, fs, p)
+		if math.Abs(exact-pred) < 1e-9*math.Max(1, exact) {
+			okCount++
+		}
+	}
+	fmt.Fprintf(w, "Reduced-scale oracle: compressed ζ matches BFS-computed ζ on the\n")
+	fmt.Fprintf(w, "materialized product at %d/%d sampled vertices. %s\n", okCount, total, check(okCount == total))
+	return nil
+}

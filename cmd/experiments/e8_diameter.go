@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/groundtruth"
+)
+
+// runDiameter reproduces Sec. V-C: diameter control. A is a generated
+// graph with full self loops and a known large diameter (a ring); B is a
+// "real-world-like" undirected graph. Cor. 5 sandwiches diam(C) in
+// [max(diam_A, diam_B), max+1], so products with a prescribed diameter
+// can be constructed. With self loops on both factors (Cor. 3) the
+// diameter is exactly max.
+func runDiameter(w io.Writer) error {
+	b := connected(gen.MustRMAT(gen.Graph500Params(5, 55))) // small-world B
+	fbLoop := groundtruth.NewFactor(b.WithFullSelfLoops())
+	fbLoop.EnsureDistances()
+
+	var rows [][]string
+	for _, n := range []int64{8, 16, 32, 64} {
+		ring := gen.Ring(n).WithFullSelfLoops()
+		fr := groundtruth.NewFactor(ring)
+		fr.EnsureDistances()
+
+		// Cor. 3 (both factors looped): exact equality.
+		c3, err := core.Product(ring, b.WithFullSelfLoops())
+		if err != nil {
+			return err
+		}
+		exact3 := analytics.Diameter(c3)
+		pred3 := groundtruth.Diameter(fr, fbLoop)
+
+		// Cor. 5 (A looped, B bare): sandwich.
+		fb := groundtruth.NewFactor(b)
+		fb.EnsureDistances()
+		c5, err := core.Product(ring, b)
+		if err != nil {
+			return err
+		}
+		exact5 := analytics.Diameter(c5)
+		lo, hi := groundtruth.DiameterBounds(fr, fb)
+
+		rows = append(rows, []string{
+			fmt.Sprintf("Ring(%d)+I", n),
+			fmt.Sprint(fr.Diam),
+			fmt.Sprintf("%d = %d %s", pred3, exact3, check(pred3 == exact3)),
+			fmt.Sprintf("[%d,%d] ∋ %d %s", lo, hi, exact5, check(exact5 >= lo && exact5 <= hi)),
+		})
+	}
+	fmt.Fprintf(w, "B = RMAT scale-5 LCC (%v), diam(B+I) = %d. A sweeps ring sizes —\n", b, fbLoop.Diam)
+	fmt.Fprintf(w, "the product diameter tracks the ring's, demonstrating control:\n\n")
+	table(w, []string{"A", "diam(A)", "Cor. 3: diam((A)⊗(B+I)) exact", "Cor. 5: diam(A⊗B) within bounds"}, rows)
+	return nil
+}

@@ -1,0 +1,3 @@
+module kronlab
+
+go 1.22

@@ -1,0 +1,338 @@
+// Cross-module integration tests: full pipelines from factor files
+// through distributed generation, the asynchronous engine, and
+// ground-truth validation — plus exec tests of the actual CLI binaries.
+package kronlab_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/dist"
+	"kronlab/internal/gen"
+	"kronlab/internal/graph"
+	"kronlab/internal/groundtruth"
+	"kronlab/internal/havoq"
+	"kronlab/internal/rejection"
+)
+
+// TestFilePipeline walks the krongen user journey in-process: write factor
+// edge lists, load them, generate distributedly, write C, reload C, and
+// validate ground truth on the reloaded graph.
+func TestFilePipeline(t *testing.T) {
+	dir := t.TempDir()
+	a := gen.PrefAttach(20, 2, 1)
+	b := gen.ER(15, 0.3, 2)
+	aPath := filepath.Join(dir, "a.txt")
+	bPath := filepath.Join(dir, "b.txt")
+	if err := a.SaveEdgeList(aPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveEdgeList(bPath); err != nil {
+		t.Fatal(err)
+	}
+	aLoaded, err := graph.LoadUndirected(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bLoaded, err := graph.LoadUndirected(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aLoaded.Equal(a) || !bLoaded.Equal(b) {
+		t.Fatal("file round trip lost structure")
+	}
+
+	res, err := dist.Generate2D(aLoaded, bLoaded, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPath := filepath.Join(dir, "c.bin")
+	f, err := os.Create(cPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(cPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	cLoaded, err := graph.ReadBinary(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cLoaded.Equal(c) {
+		t.Fatal("binary round trip lost structure")
+	}
+
+	fa, fb := groundtruth.NewFactor(a), groundtruth.NewFactor(b)
+	if got, want := analytics.GlobalTriangles(cLoaded), groundtruth.GlobalTriangles(fa, fb); got != want {
+		t.Fatalf("triangles on reloaded product: %d, ground truth %d", got, want)
+	}
+}
+
+// TestFullStackEccentricity is the complete Fig. 1 pipeline: generate
+// distributedly, re-home into the async engine, compute exact distributed
+// eccentricities, and compare with Cor. 4 and with the landmark
+// approximation's fidelity.
+func TestFullStackEccentricity(t *testing.T) {
+	a, _ := gen.PrefAttach(30, 2, 3).LargestComponent()
+	al := a.WithFullSelfLoops()
+	fa := groundtruth.NewFactor(al)
+	fa.EnsureDistances()
+
+	res, err := dist.Generate1D(al, al, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := havoq.BuildFromParts(res.NC, 3, res.PerRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccRes, err := dg.ExactEccentricities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := groundtruth.Eccentricities(fa, fa)
+	for p := range pred {
+		if pred[p] != eccRes.Ecc[p] {
+			t.Fatalf("Cor.4 mismatch at %d: %d vs %d", p, pred[p], eccRes.Ecc[p])
+		}
+	}
+	// Landmark approximation fidelity on the materialized product
+	// (the Fig. 1 caption study).
+	c, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _ := analytics.ApproxEccentricities(c, 8)
+	fracExact, fracOff1 := analytics.EccentricityFidelity(est, eccRes.Ecc)
+	if fracExact+fracOff1 < 0.95 {
+		t.Fatalf("landmark estimates poor: exact %.2f, off-by-one %.2f", fracExact, fracOff1)
+	}
+}
+
+// TestRejectionOnDistributedProduct thins a distributed product and
+// checks the joint-family property end to end.
+func TestRejectionOnDistributedProduct(t *testing.T) {
+	a := gen.ER(12, 0.4, 5)
+	res, err := dist.Generate1D(a, a, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rejection.NewHasher(9)
+	fam := rejection.Family(c, h, []float64{1, 0.9})
+	if !fam[0].Equal(c) {
+		t.Error("ν=1 must be the full product")
+	}
+	if fam[1].NumEdges() >= c.NumEdges() {
+		t.Error("ν=0.9 should drop edges")
+	}
+	if !fam[1].IsSymmetric() {
+		t.Error("thinned product must remain undirected")
+	}
+}
+
+// buildTool compiles a cmd/ binary once into a temp dir.
+func buildTool(t *testing.T, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// TestKrongenCLI runs the real krongen binary over temp files and checks
+// the generated product against the serial library result.
+func TestKrongenCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "kronlab/cmd/krongen", "krongen")
+	dir := t.TempDir()
+	a := gen.Ring(6)
+	b := gen.Path(5)
+	aPath := filepath.Join(dir, "a.txt")
+	bPath := filepath.Join(dir, "b.txt")
+	outPath := filepath.Join(dir, "c.txt")
+	if err := a.SaveEdgeList(aPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveEdgeList(bPath); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-a", aPath, "-b", bPath, "-out", outPath, "-mode", "1d", "-ranks", "3", "-stats")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("krongen: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "edges/s") {
+		t.Errorf("missing stats output: %q", stderr.String())
+	}
+	got, err := graph.LoadUndirected(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text edge lists drop trailing isolated vertices; compare edges.
+	wantEdges := want.EdgeList()
+	gotEdges := got.EdgeList()
+	if len(wantEdges) != len(gotEdges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(gotEdges), len(wantEdges))
+	}
+	for i := range wantEdges {
+		if wantEdges[i] != gotEdges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+// TestGroundtruthCLI runs the groundtruth binary and sanity-checks its
+// report.
+func TestGroundtruthCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "kronlab/cmd/groundtruth", "groundtruth")
+	dir := t.TempDir()
+	a := gen.Clique(4)
+	aPath := filepath.Join(dir, "a.txt")
+	if err := a.SaveEdgeList(aPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-a", aPath, "-b", aPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("groundtruth: %v\n%s", err, out)
+	}
+	// τ(K4) = 4 → τ_C = 6·4·4 = 96.
+	if !strings.Contains(string(out), "96") {
+		t.Errorf("expected τ_C = 96 in output:\n%s", out)
+	}
+}
+
+// TestExperimentsCLIList checks the registry wiring.
+func TestExperimentsCLIList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "kronlab/cmd/experiments", "experiments")
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments -list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"scaling-laws", "generator", "weak-scaling", "triangles",
+		"clustering", "eccentricity", "closeness", "diameter", "community",
+		"cliques", "rejection", "spectral", "extensions"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("experiment %q missing from -list", id)
+		}
+	}
+	// And one cheap experiment end to end.
+	out, err = exec.Command(bin, "-exp", "cliques").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments -exp cliques: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "FAIL") {
+		t.Errorf("cliques experiment reported FAIL:\n%s", out)
+	}
+}
+
+// TestDecorateCLI checks the feature-decoration tool against library
+// ground truth.
+func TestDecorateCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "kronlab/cmd/decorate", "decorate")
+	dir := t.TempDir()
+	a := gen.Clique(3) // triangle
+	b := gen.Path(3)
+	aPath := filepath.Join(dir, "a.txt")
+	bPath := filepath.Join(dir, "b.txt")
+	if err := a.SaveEdgeList(aPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveEdgeList(bPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-a", aPath, "-b", bPath, "-count", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("decorate: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected header + 3 rows, got %d lines:\n%s", len(lines), out)
+	}
+	// Row for vertex 0 of (K3+I)⊗(P3+I): degree 6, 10 triangles (checked
+	// against Cor. 1 by hand and by the groundtruth tests).
+	if !strings.HasPrefix(lines[1], "0,0,0,6,10,") {
+		t.Errorf("vertex 0 row = %q", lines[1])
+	}
+	// Looped factors must be rejected.
+	loopy := filepath.Join(dir, "loopy.txt")
+	if err := a.WithFullSelfLoops().SaveEdgeList(loopy); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin, "-a", loopy, "-b", bPath).Run(); err == nil {
+		t.Error("decorate should reject looped factors")
+	}
+}
+
+// TestKrongenPowerCLI checks the -power flag against core.KronPower.
+func TestKrongenPowerCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "kronlab/cmd/krongen", "krongen")
+	dir := t.TempDir()
+	a := gen.Clique(3)
+	aPath := filepath.Join(dir, "a.txt")
+	outPath := filepath.Join(dir, "c.txt")
+	if err := a.SaveEdgeList(aPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin, "-a", aPath, "-power", "3", "-out", outPath).Run(); err != nil {
+		t.Fatalf("krongen -power: %v", err)
+	}
+	got, err := graph.LoadUndirected(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.KronPower(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("power product edges %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	// -power with -b must be rejected.
+	if err := exec.Command(bin, "-a", aPath, "-b", aPath, "-power", "2").Run(); err == nil {
+		t.Error("krongen should reject -power with -b")
+	}
+}

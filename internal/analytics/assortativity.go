@@ -1,0 +1,41 @@
+package analytics
+
+import (
+	"math"
+
+	"kronlab/internal/graph"
+)
+
+// DegreeAssortativity returns Newman's degree assortativity coefficient r
+// (the paper's ref [20]), the Pearson correlation of remaining degrees
+// across edges. Thm. 2's discussion uses it: factors with negative
+// assortativity (hubs attached to leaves) produce product edges whose
+// clustering scaling factor φ collapses toward 0. Self loops are
+// excluded. Returns NaN when the degree variance over edge endpoints is
+// zero (e.g. regular graphs).
+func DegreeAssortativity(g *graph.Graph) float64 {
+	var m float64 // arc count (ordered endpoint pairs)
+	var sumJK, sumJ, sumJ2 float64
+	g.Arcs(func(u, v int64) bool {
+		if u == v {
+			return true
+		}
+		j := float64(g.Degree(u) - 1) // remaining degree
+		k := float64(g.Degree(v) - 1)
+		m++
+		sumJK += j * k
+		sumJ += j // symmetric arcs make Σj == Σk
+		sumJ2 += j * j
+		return true
+	})
+	if m == 0 {
+		return math.NaN()
+	}
+	mean := sumJ / m
+	num := sumJK/m - mean*mean
+	den := sumJ2/m - mean*mean
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}

@@ -1,0 +1,66 @@
+package analytics
+
+import "kronlab/internal/graph"
+
+// Betweenness computes exact betweenness centrality for every vertex with
+// Brandes' algorithm (the paper's ref [24]), O(n·m) for unweighted
+// graphs. The paper lists betweenness among the distance-based metrics
+// that motivate ground-truth formulas but derives no Kronecker law for
+// it; kronlab provides the exact oracle so users can study products
+// empirically (and tests document that no naive product law holds).
+//
+// Scores use the standard convention: each ordered pair (s, t), s ≠ t,
+// contributes the fraction of shortest s–t paths through v; for
+// undirected graphs every unordered pair is therefore counted twice.
+// Self loops never lie on shortest paths and are ignored.
+func Betweenness(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	dist := make([]int64, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]int64, n)
+	stack := make([]int64, 0, n)
+	queue := make([]int64, 0, n)
+
+	for s := int64(0); s < n; s++ {
+		for i := int64(0); i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		stack = stack[:0]
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if w == v {
+					continue
+				}
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	return bc
+}

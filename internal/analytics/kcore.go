@@ -1,0 +1,74 @@
+package analytics
+
+import "kronlab/internal/graph"
+
+// CoreNumbers computes the k-core decomposition: core[v] is the largest k
+// such that v belongs to a subgraph of minimum degree k. Computed with
+// the linear-time peeling algorithm (bucket queue over degrees). Self
+// loops contribute 1 to the degree, consistent with Graph.Degree. Part of
+// the "local topological features" the paper's introduction motivates
+// decorating benchmark graphs with.
+func CoreNumbers(g *graph.Graph) []int64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	deg := g.Degrees()
+	maxDeg := int64(0)
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Bucket sort vertices by degree.
+	binStart := make([]int64, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for d := int64(1); d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int64, n)  // position of v in vert
+	vert := make([]int64, n) // vertices sorted by current degree
+	next := append([]int64(nil), binStart[:maxDeg+1]...)
+	for v := int64(0); v < n; v++ {
+		pos[v] = next[deg[v]]
+		vert[pos[v]] = v
+		next[deg[v]]++
+	}
+	core := append([]int64(nil), deg...)
+	for i := int64(0); i < n; i++ {
+		v := vert[i]
+		for _, u := range g.Neighbors(v) {
+			if u == v {
+				continue
+			}
+			if core[u] > core[v] {
+				// Move u one bucket down: swap with first vertex of its
+				// bucket, then shrink the bucket.
+				du := core[u]
+				pu := pos[u]
+				pw := binStart[du]
+				w := vert[pw]
+				if u != w {
+					vert[pu], vert[pw] = w, u
+					pos[u], pos[w] = pw, pu
+				}
+				binStart[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the graph degeneracy: max_v core(v).
+func Degeneracy(g *graph.Graph) int64 {
+	var d int64
+	for _, c := range CoreNumbers(g) {
+		if c > d {
+			d = c
+		}
+	}
+	return d
+}

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"kronlab/internal/core"
+	"kronlab/internal/graph"
+)
+
+// ExampleProduct forms the Kronecker product of a triangle and an edge.
+func ExampleProduct() {
+	tri, _ := graph.NewUndirected(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	k2, _ := graph.NewUndirected(2, []graph.Edge{{U: 0, V: 1}})
+	c, _ := core.Product(tri, k2)
+	fmt.Println(c)
+	// Output: graph{n=6 m=6 loops=0}
+}
+
+// ExampleIndex shows the block-index maps of Sec. II-A.
+func ExampleIndex() {
+	ix := core.NewIndex(4) // block size n_B = 4
+	i, k := ix.Split(10)
+	fmt.Println(i, k, ix.Gamma(i, k))
+	// Output: 2 2 10
+}
+
+// ExampleStreamProduct enumerates product arcs without materializing C.
+func ExampleStreamProduct() {
+	k2, _ := graph.NewUndirected(2, []graph.Edge{{U: 0, V: 1}})
+	count := 0
+	core.StreamProduct(k2, k2, func(u, v int64) bool {
+		count++
+		return true
+	})
+	fmt.Println(count) // 2 arcs × 2 arcs
+	// Output: 4
+}
+
+// ExampleKronPower builds the third Kronecker power of an edge.
+func ExampleKronPower() {
+	k2, _ := graph.NewUndirected(2, []graph.Edge{{U: 0, V: 1}})
+	c, _ := core.KronPower(k2, 3)
+	fmt.Println(c.NumVertices(), c.NumEdges())
+	// Output: 8 4
+}

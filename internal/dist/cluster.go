@@ -1,0 +1,161 @@
+// Package dist implements the paper's distributed Kronecker generator
+// (Sec. III and Rem. 1) on a simulated cluster: R ranks run as goroutines
+// and exchange edge batches over channels. The partitioning, expansion and
+// owner-routing code paths are exactly those of the MPI implementation the
+// paper describes (HavoqGT on Sequoia); only the transport differs, and
+// the cluster accounts messages and bytes so communication volume can be
+// reported in the benchmarks.
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kronlab/internal/graph"
+)
+
+// edgeWireBytes is the accounting size of one edge on the wire: two
+// int64 endpoints.
+const edgeWireBytes = 16
+
+// Message is a batch of edges sent between ranks; eof marks the end of the
+// sender's stream for the current exchange.
+type Message struct {
+	From  int
+	Edges []graph.Edge
+	EOF   bool
+}
+
+// Stats aggregates traffic counters across an exchange. All fields are
+// totals over all ranks.
+type Stats struct {
+	EdgesGenerated int64 // product edges produced by expansion
+	EdgesRouted    int64 // edges sent to a different rank for storage
+	BytesSent      int64 // edgeWireBytes per routed edge
+	Messages       int64 // batches sent (including EOF markers)
+}
+
+// Cluster is a simulated machine with R communicating ranks.
+type Cluster struct {
+	r       int
+	inboxes []chan Message
+	stats   Stats
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierCnt  int
+	barrierGen  int
+
+	reduceMu  sync.Mutex
+	reduceAcc int64
+}
+
+// NewCluster returns a cluster of r ranks. Inbox channels are buffered so
+// the generate-then-drain pattern cannot deadlock as long as each rank
+// runs its receiver concurrently with its producer (see Rank.Exchange).
+func NewCluster(r int) (*Cluster, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("dist: cluster needs ≥ 1 rank, got %d", r)
+	}
+	c := &Cluster{r: r, inboxes: make([]chan Message, r)}
+	for i := range c.inboxes {
+		c.inboxes[i] = make(chan Message, 4*r+16)
+	}
+	c.barrierCond = sync.NewCond(&c.barrierMu)
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Cluster) Size() int { return c.r }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		EdgesGenerated: atomic.LoadInt64(&c.stats.EdgesGenerated),
+		EdgesRouted:    atomic.LoadInt64(&c.stats.EdgesRouted),
+		BytesSent:      atomic.LoadInt64(&c.stats.BytesSent),
+		Messages:       atomic.LoadInt64(&c.stats.Messages),
+	}
+}
+
+// Run executes body once per rank concurrently and waits for all ranks;
+// the first non-nil error is returned.
+func (c *Cluster) Run(body func(rk *Rank) error) error {
+	errs := make([]error, c.r)
+	var wg sync.WaitGroup
+	for id := 0; id < c.r; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = body(&Rank{id: id, c: c})
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank is one simulated processor inside a Cluster.Run body.
+type Rank struct {
+	id int
+	c  *Cluster
+}
+
+// ID returns this rank's index in [0, Size).
+func (rk *Rank) ID() int { return rk.id }
+
+// Size returns the cluster size R.
+func (rk *Rank) Size() int { return rk.c.r }
+
+// send delivers a message to rank `to`, updating traffic counters.
+func (rk *Rank) send(to int, m Message) {
+	atomic.AddInt64(&rk.c.stats.Messages, 1)
+	if len(m.Edges) > 0 && to != rk.id {
+		atomic.AddInt64(&rk.c.stats.EdgesRouted, int64(len(m.Edges)))
+		atomic.AddInt64(&rk.c.stats.BytesSent, int64(len(m.Edges))*edgeWireBytes)
+	}
+	rk.c.inboxes[to] <- m
+}
+
+// Barrier blocks until all ranks have entered it.
+func (rk *Rank) Barrier() {
+	c := rk.c
+	c.barrierMu.Lock()
+	gen := c.barrierGen
+	c.barrierCnt++
+	if c.barrierCnt == c.r {
+		c.barrierCnt = 0
+		c.barrierGen++
+		c.barrierCond.Broadcast()
+	} else {
+		for gen == c.barrierGen {
+			c.barrierCond.Wait()
+		}
+	}
+	c.barrierMu.Unlock()
+}
+
+// AllReduceSum adds v across all ranks and returns the total to each.
+// The barriers establish the happens-before edges that make the shared
+// accumulator race-free: all additions precede the first barrier, all
+// reads sit between the first and second, and the reset follows the
+// second.
+func (rk *Rank) AllReduceSum(v int64) int64 {
+	c := rk.c
+	c.reduceMu.Lock()
+	c.reduceAcc += v
+	c.reduceMu.Unlock()
+	rk.Barrier()
+	total := c.reduceAcc
+	rk.Barrier()
+	if rk.id == 0 {
+		c.reduceAcc = 0
+	}
+	rk.Barrier()
+	return total
+}

@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"kronlab/internal/gen"
+	"kronlab/internal/graph"
+)
+
+// Owner-map ablation (DESIGN.md design choice): routing policy determines
+// per-rank storage balance. These benches report the load-imbalance ratio
+// (max/ideal) as a custom metric alongside time.
+func BenchmarkOwnerMapAblation(b *testing.B) {
+	a := gen.MustRMAT(gen.Graph500Params(5, 1))
+	bb := gen.MustRMAT(gen.Graph500Params(5, 2))
+	nC := a.NumVertices() * bb.NumVertices()
+	owners := []struct {
+		name string
+		f    OwnerFunc
+	}{
+		{"bySource", OwnerBySource},
+		{"byEdge", OwnerByEdge},
+		{"byBlock", OwnerByBlock(nC)},
+	}
+	for _, o := range owners {
+		b.Run(o.name, func(b *testing.B) {
+			var imbalance float64
+			for i := 0; i < b.N; i++ {
+				res, err := Generate1D(a, bb, 8, o.f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ideal := float64(res.TotalStored()) / 8
+				imbalance = float64(res.MaxRankStorage()) / ideal
+			}
+			b.ReportMetric(imbalance, "max/ideal")
+		})
+	}
+}
+
+// Owned (communication-free CSR) generation vs routed generation at the
+// same block storage map — the Sec. III optimization ablation.
+func BenchmarkOwnedVsRouted(b *testing.B) {
+	a := gen.MustRMAT(gen.Graph500Params(5, 3))
+	bb := gen.MustRMAT(gen.Graph500Params(5, 4))
+	nC := a.NumVertices() * bb.NumVertices()
+	b.Run("routedBlock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Generate1D(a, bb, 8, OwnerByBlock(nC)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("owned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := GenerateOwned(a, bb, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Raw exchange throughput of the simulated transport, by cluster size:
+// every rank sends `per` edges round-robin and drains its inbox.
+func BenchmarkExchangeThroughput(b *testing.B) {
+	for _, r := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			const per = 20_000
+			b.SetBytes(int64(r) * per * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := NewCluster(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				err = c.Run(func(rk *Rank) error {
+					var got int
+					rk.Exchange(func(emit func(to int, e graph.Edge)) {
+						for j := 0; j < per; j++ {
+							emit(j%r, graph.Edge{U: int64(j), V: int64(rk.ID())})
+						}
+					}, func(e graph.Edge) {
+						got++
+					})
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

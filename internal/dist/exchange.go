@@ -1,0 +1,85 @@
+package dist
+
+import "kronlab/internal/graph"
+
+// batchSize is the number of edges buffered per destination before a
+// message is flushed, mirroring the aggregation HPC generators use to
+// amortize message overhead.
+const batchSize = 1024
+
+// Exchange runs one all-to-all edge exchange on this rank. produce is
+// called with an emit function that routes a single edge to a destination
+// rank; handle receives every edge delivered to this rank (from any rank,
+// including itself). Exchange returns when this rank has produced all its
+// edges and received the EOF markers of every rank.
+//
+// Internally the receiver runs concurrently with the producer so inbox
+// buffers drain while expansion is still running — the same overlap of
+// generation and communication an asynchronous MPI implementation gets.
+func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge)), handle func(e graph.Edge)) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		eofs := 0
+		for eofs < rk.c.r {
+			m := <-rk.c.inboxes[rk.id]
+			for _, e := range m.Edges {
+				handle(e)
+			}
+			if m.EOF {
+				eofs++
+			}
+		}
+	}()
+
+	buf := make([][]graph.Edge, rk.c.r)
+	flush := func(to int, eof bool) {
+		if len(buf[to]) > 0 || eof {
+			rk.send(to, Message{From: rk.id, Edges: buf[to], EOF: eof})
+			buf[to] = nil
+		}
+	}
+	emit := func(to int, e graph.Edge) {
+		buf[to] = append(buf[to], e)
+		if len(buf[to]) >= batchSize {
+			flush(to, false)
+		}
+	}
+	produce(emit)
+	for to := 0; to < rk.c.r; to++ {
+		flush(to, true)
+	}
+	<-done
+}
+
+// OwnerFunc maps a product edge to the rank that stores it. The paper
+// leaves the storage mapping open ("some mapping scheme"); the functions
+// below provide the common choices.
+type OwnerFunc func(u, v int64, r int) int
+
+// OwnerBySource assigns edges to ranks by a multiplicative hash of the
+// source endpoint — 1D vertex partitioning of the product graph.
+func OwnerBySource(u, _ int64, r int) int {
+	h := uint64(u) * 0x9e3779b97f4a7c15
+	return int(h % uint64(r))
+}
+
+// OwnerByEdge hashes both endpoints, spreading even a single hub vertex's
+// edges across ranks (2D-style edge partitioning).
+func OwnerByEdge(u, v int64, r int) int {
+	h := uint64(u)*0x9e3779b97f4a7c15 ^ (uint64(v)*0xc2b2ae3d27d4eb4f + 0x165667b19e3779f9)
+	return int(h % uint64(r))
+}
+
+// OwnerByBlock assigns contiguous source-vertex blocks of size nC/r —
+// the layout a CSR-partitioned distributed graph store would use.
+func OwnerByBlock(nC int64) OwnerFunc {
+	return func(u, _ int64, r int) int {
+		per := (nC + int64(r) - 1) / int64(r)
+		o := int(u / per)
+		if o >= r {
+			o = r - 1
+		}
+		return o
+	}
+}

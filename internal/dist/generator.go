@@ -1,0 +1,300 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"kronlab/internal/core"
+	"kronlab/internal/graph"
+	"kronlab/internal/store"
+)
+
+// Result is the outcome of a distributed generation: the product edges
+// stored at each rank (owner-routed) plus traffic statistics.
+type Result struct {
+	NC      int64          // product vertex count n_A·n_B
+	PerRank [][]graph.Edge // arcs stored by each rank
+	Stats   Stats
+}
+
+// TotalStored returns the total number of arcs stored across ranks.
+func (res *Result) TotalStored() int64 {
+	var t int64
+	for _, s := range res.PerRank {
+		t += int64(len(s))
+	}
+	return t
+}
+
+// MaxRankStorage returns the largest per-rank arc count — the paper's
+// per-processor storage term O(|E_A|/R + |E_B|) plus owned output.
+func (res *Result) MaxRankStorage() int64 {
+	var m int64
+	for _, s := range res.PerRank {
+		if int64(len(s)) > m {
+			m = int64(len(s))
+		}
+	}
+	return m
+}
+
+// Collect merges all per-rank stored arcs into a single Graph — the
+// oracle check that the distributed run produced exactly C = A ⊗ B.
+func (res *Result) Collect() (*graph.Graph, error) {
+	var arcs []graph.Edge
+	for _, s := range res.PerRank {
+		arcs = append(arcs, s...)
+	}
+	return graph.New(res.NC, arcs)
+}
+
+// PartitionArcs splits arcs into parts contiguous blocks of near-equal
+// size (the "evenly distributed across the R processors" of Sec. III).
+// Parts beyond len(arcs) are empty.
+func PartitionArcs(arcs []graph.Edge, parts int) [][]graph.Edge {
+	out := make([][]graph.Edge, parts)
+	n := int64(len(arcs))
+	p := int64(parts)
+	for i := int64(0); i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		out[i] = arcs[lo:hi]
+	}
+	return out
+}
+
+// Generate1D runs the paper's Sec. III generator on a simulated cluster
+// of r ranks: B is replicated on every rank, the arcs of A are evenly
+// distributed, rank ρ expands C_ρ = A_ρ ⊗ B, and every generated edge is
+// routed to owner(u, v, r) for storage. Per-rank memory is
+// O(|E_A|/R + |E_B| + stored), time O(|E_A|·|E_B|/R).
+func Generate1D(a, b *graph.Graph, r int, owner OwnerFunc) (*Result, error) {
+	if owner == nil {
+		owner = OwnerBySource
+	}
+	c, err := NewCluster(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := PartitionArcs(a.ArcList(), r)
+	res := &Result{NC: a.NumVertices() * b.NumVertices(), PerRank: make([][]graph.Edge, r)}
+	err = c.Run(func(rk *Rank) error {
+		var stored []graph.Edge
+		rk.Exchange(func(emit func(to int, e graph.Edge)) {
+			core.StreamProductArcs(parts[rk.ID()], b, func(u, v int64) bool {
+				atomic.AddInt64(&c.stats.EdgesGenerated, 1)
+				emit(owner(u, v, r), graph.Edge{U: u, V: v})
+				return true
+			})
+		}, func(e graph.Edge) {
+			stored = append(stored, e)
+		})
+		res.PerRank[rk.ID()] = stored
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = c.Stats()
+	return res, nil
+}
+
+// Grid2D is the processor grid of Rem. 1: R½ = ⌈√R⌉ columns of A-parts by
+// Q = ⌈R/R½⌉ rows of B-parts. The paper's assignment
+// C_ρ = A_{ρ%R½} ⊗ B_{⌊ρ/R½⌋} covers every (A-part, B-part) tile only when
+// R = R½·Q exactly; for general R we assign the R½·Q tiles round-robin to
+// ranks (tile t → rank t % R), so some ranks own two tiles — a correctness
+// completion of the paper's sketch.
+type Grid2D struct {
+	RHalf, Q int
+}
+
+// NewGrid2D returns the 2D decomposition for r ranks.
+func NewGrid2D(r int) Grid2D {
+	rh := int(math.Ceil(math.Sqrt(float64(r))))
+	q := (r + rh - 1) / rh
+	return Grid2D{RHalf: rh, Q: q}
+}
+
+// Tiles returns the number of (A-part, B-part) tiles R½·Q.
+func (g Grid2D) Tiles() int { return g.RHalf * g.Q }
+
+// TileOf returns the (A-part, B-part) coordinates of tile t.
+func (g Grid2D) TileOf(t int) (aPart, bPart int) { return t % g.RHalf, t / g.RHalf }
+
+// Generate2D runs the Rem. 1 generator: both factors' arcs are
+// partitioned (A into R½ parts, B into Q parts) and each rank expands its
+// tile(s) A_i ⊗ B_j. Per-rank replicated storage drops from O(|E_B|) to
+// O(|E_A|/R½ + |E_B|/Q), enabling weak scaling to O(|E_C|) processors.
+func Generate2D(a, b *graph.Graph, r int, owner OwnerFunc) (*Result, error) {
+	if owner == nil {
+		owner = OwnerBySource
+	}
+	c, err := NewCluster(r)
+	if err != nil {
+		return nil, err
+	}
+	grid := NewGrid2D(r)
+	aParts := PartitionArcs(a.ArcList(), grid.RHalf)
+	bParts := PartitionArcs(b.ArcList(), grid.Q)
+	// Pre-build each B-part as a Graph so expansion can stream against
+	// CSR; vertex count is preserved so γ indices stay global.
+	bGraphs := make([]*graph.Graph, grid.Q)
+	for j := range bGraphs {
+		bGraphs[j], err = graph.New(b.NumVertices(), bParts[j])
+		if err != nil {
+			return nil, fmt.Errorf("dist: building B part %d: %w", j, err)
+		}
+	}
+	res := &Result{NC: a.NumVertices() * b.NumVertices(), PerRank: make([][]graph.Edge, r)}
+	err = c.Run(func(rk *Rank) error {
+		var stored []graph.Edge
+		rk.Exchange(func(emit func(to int, e graph.Edge)) {
+			for t := rk.ID(); t < grid.Tiles(); t += r {
+				ai, bj := grid.TileOf(t)
+				core.StreamProductArcs(aParts[ai], bGraphs[bj], func(u, v int64) bool {
+					atomic.AddInt64(&c.stats.EdgesGenerated, 1)
+					emit(owner(u, v, r), graph.Edge{U: u, V: v})
+					return true
+				})
+			}
+		}, func(e graph.Edge) {
+			stored = append(stored, e)
+		})
+		res.PerRank[rk.ID()] = stored
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = c.Stats()
+	return res, nil
+}
+
+// CountOnly generates the product on r ranks without routing or storing
+// edges — the pure expansion throughput used by the generation benchmarks
+// (experiment E2). It returns the number of edges generated.
+func CountOnly(a, b *graph.Graph, r int, twoD bool) (int64, error) {
+	c, err := NewCluster(r)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	if !twoD {
+		parts := PartitionArcs(a.ArcList(), r)
+		err = c.Run(func(rk *Rank) error {
+			var local int64
+			core.StreamProductArcs(parts[rk.ID()], b, func(u, v int64) bool {
+				local++
+				return true
+			})
+			atomic.AddInt64(&total, local)
+			return nil
+		})
+	} else {
+		grid := NewGrid2D(r)
+		aParts := PartitionArcs(a.ArcList(), grid.RHalf)
+		bParts := PartitionArcs(b.ArcList(), grid.Q)
+		bGraphs := make([]*graph.Graph, grid.Q)
+		for j := range bGraphs {
+			bGraphs[j], err = graph.New(b.NumVertices(), bParts[j])
+			if err != nil {
+				return 0, err
+			}
+		}
+		err = c.Run(func(rk *Rank) error {
+			var local int64
+			for t := rk.ID(); t < grid.Tiles(); t += r {
+				ai, bj := grid.TileOf(t)
+				core.StreamProductArcs(aParts[ai], bGraphs[bj], func(u, v int64) bool {
+					local++
+					return true
+				})
+			}
+			atomic.AddInt64(&total, local)
+			return nil
+		})
+	}
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// EffectiveParallelism1D returns the number of ranks that receive any work
+// under 1D partitioning: min(R, |arcs_A|) — the Rem. 1 scalability wall.
+func EffectiveParallelism1D(a *graph.Graph, r int) int {
+	if int64(r) > a.NumArcs() {
+		return int(a.NumArcs())
+	}
+	return r
+}
+
+// EffectiveParallelism2D returns the number of ranks with work under the
+// 2D decomposition: min(R, arcs_A·arcs_B tiles with both parts nonempty).
+func EffectiveParallelism2D(a, b *graph.Graph, r int) int {
+	grid := NewGrid2D(r)
+	aBusy := grid.RHalf
+	if int64(aBusy) > a.NumArcs() {
+		aBusy = int(a.NumArcs())
+	}
+	bBusy := grid.Q
+	if int64(bBusy) > b.NumArcs() {
+		bBusy = int(b.NumArcs())
+	}
+	busy := aBusy * bBusy
+	if busy > r {
+		busy = r
+	}
+	return busy
+}
+
+// Generate1DToStore runs the 1D generator with each rank streaming its
+// owned edges to its own shard of an on-disk store — the full
+// generate-route-store pipeline of Sec. III with O(batch) memory per rank
+// regardless of |E_C|. The owner map is forced to shard-per-rank routing.
+func Generate1DToStore(a, b *graph.Graph, r int, dir string) (*store.Store, Stats, error) {
+	c, err := NewCluster(r)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	parts := PartitionArcs(a.ArcList(), r)
+	counts := make([]int64, r)
+	errs := make([]error, r)
+	runErr := c.Run(func(rk *Rank) error {
+		sw, err := store.NewShardWriter(dir, rk.ID())
+		if err != nil {
+			errs[rk.ID()] = err
+			return err
+		}
+		rk.Exchange(func(emit func(to int, e graph.Edge)) {
+			core.StreamProductArcs(parts[rk.ID()], b, func(u, v int64) bool {
+				atomic.AddInt64(&c.stats.EdgesGenerated, 1)
+				emit(OwnerBySource(u, v, r), graph.Edge{U: u, V: v})
+				return true
+			})
+		}, func(e graph.Edge) {
+			if errs[rk.ID()] == nil {
+				errs[rk.ID()] = sw.Append(e.U, e.V)
+			}
+		})
+		counts[rk.ID()] = sw.Count()
+		if err := sw.Close(); err != nil && errs[rk.ID()] == nil {
+			errs[rk.ID()] = err
+		}
+		return errs[rk.ID()]
+	})
+	if runErr != nil {
+		return nil, Stats{}, runErr
+	}
+	nC := a.NumVertices() * b.NumVertices()
+	if err := store.WriteManifest(dir, nC, counts); err != nil {
+		return nil, Stats{}, err
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return st, c.Stats(), nil
+}

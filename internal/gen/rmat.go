@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kronlab/internal/graph"
+)
+
+// RMATParams configures the recursive-matrix (stochastic Kronecker)
+// generator of Chakrabarti et al., the generator family used by Graph500
+// and contrasted against nonstochastic Kronecker products in the paper's
+// introduction.
+type RMATParams struct {
+	Scale      int     // n = 2^Scale vertices
+	EdgeFactor int64   // m = EdgeFactor · n sampled edges (before dedup)
+	A, B, C    float64 // quadrant probabilities; D = 1−A−B−C
+	Seed       int64
+	Undirected bool // symmetrize and drop duplicates
+	DropLoops  bool // discard sampled self loops
+}
+
+// Graph500Params returns the standard Graph500 R-MAT parameters
+// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) at the given scale with the
+// standard edge factor 16.
+func Graph500Params(scale int, seed int64) RMATParams {
+	return RMATParams{
+		Scale: scale, EdgeFactor: 16,
+		A: 0.57, B: 0.19, C: 0.19,
+		Seed: seed, Undirected: true, DropLoops: true,
+	}
+}
+
+// RMAT samples an R-MAT graph. Duplicate sampled edges are merged by the
+// graph constructor, so the resulting edge count is at most
+// EdgeFactor·2^Scale.
+func RMAT(p RMATParams) (*graph.Graph, error) {
+	if p.Scale < 0 || p.Scale > 40 {
+		return nil, fmt.Errorf("gen: RMAT scale %d out of range [0,40]", p.Scale)
+	}
+	d := 1 - p.A - p.B - p.C
+	if p.A < 0 || p.B < 0 || p.C < 0 || d < 0 {
+		return nil, fmt.Errorf("gen: RMAT probabilities (%v,%v,%v) invalid", p.A, p.B, p.C)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := int64(1) << uint(p.Scale)
+	m := p.EdgeFactor * n
+	edges := make([]graph.Edge, 0, m)
+	for e := int64(0); e < m; e++ {
+		var u, v int64
+		for bit := p.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left: no bits set
+			case r < p.A+p.B:
+				v |= 1 << uint(bit)
+			case r < p.A+p.B+p.C:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if p.DropLoops && u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	if p.Undirected {
+		return graph.NewUndirected(n, edges)
+	}
+	return graph.New(n, edges)
+}
+
+// MustRMAT is RMAT but panics on invalid parameters; convenient in
+// experiments with fixed known-good parameters.
+func MustRMAT(p RMATParams) *graph.Graph {
+	g, err := RMAT(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

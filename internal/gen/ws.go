@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"math/rand"
+
+	"kronlab/internal/graph"
+)
+
+// WattsStrogatz returns a small-world graph after Watts & Strogatz (the
+// paper's clustering-coefficient reference [19]): a ring lattice where
+// each vertex connects to its k nearest neighbors (k even), with each
+// lattice edge rewired to a uniform random endpoint with probability
+// beta. beta = 0 keeps the high-clustering lattice; beta = 1 approaches
+// a random graph; small beta gives the small-world regime the paper's
+// factors are meant to resemble.
+func WattsStrogatz(n int64, k int, beta float64, seed int64) *graph.Graph {
+	if k%2 != 0 {
+		k++
+	}
+	if int64(k) >= n {
+		k = int(n) - 1
+		if k%2 != 0 {
+			k--
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[graph.Edge]bool, n*int64(k)/2)
+	edges := make([]graph.Edge, 0, n*int64(k)/2)
+	add := func(u, v int64) bool {
+		if u == v {
+			return false
+		}
+		e := (graph.Edge{U: u, V: v}).Canon()
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		edges = append(edges, e)
+		return true
+	}
+	for u := int64(0); u < n; u++ {
+		for d := int64(1); d <= int64(k/2); d++ {
+			v := (u + d) % n
+			if rng.Float64() < beta {
+				// Rewire: keep u, choose a fresh random endpoint.
+				for tries := 0; tries < 32; tries++ {
+					w := rng.Int63n(n)
+					if add(u, w) {
+						v = -1
+						break
+					}
+				}
+				if v == -1 {
+					continue
+				}
+			}
+			add(u, v)
+		}
+	}
+	return mustUndirected(n, edges)
+}

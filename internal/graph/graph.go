@@ -1,0 +1,281 @@
+// Package graph provides the compressed sparse row (CSR) graph substrate
+// used throughout kronlab: construction from edge lists, undirected and
+// self-loop transforms, connected components, degrees, and edge-list file
+// I/O.
+//
+// Conventions (see DESIGN.md §5):
+//
+//   - Vertices are int64 and 0-based.
+//   - A Graph stores the full adjacency matrix pattern: an undirected edge
+//     {u,v} with u≠v appears as the two arcs (u,v) and (v,u); a self loop
+//     (v,v) appears as a single arc.
+//   - NumArcs is the number of stored arcs (nonzeros of the adjacency
+//     matrix); NumEdges is the undirected edge count (off-diagonal arc
+//     pairs counted once, plus self loops).
+package graph
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// Edge is a directed arc (U, V). Undirected edges are represented by the
+// canonical form U ≤ V in edge lists and by both arcs in a Graph.
+type Edge struct {
+	U, V int64
+}
+
+// Canon returns e with endpoints swapped if necessary so that U ≤ V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// IsLoop reports whether e is a self loop.
+func (e Edge) IsLoop() bool { return e.U == e.V }
+
+// Graph is an immutable CSR adjacency structure. The zero value is the
+// empty graph on zero vertices.
+type Graph struct {
+	n       int64
+	offsets []int64 // len n+1
+	adj     []int64 // neighbor lists, sorted ascending within each row
+	loops   int64   // number of self loops
+}
+
+// New builds a Graph on n vertices from the given arcs. Each arc is
+// inserted exactly as given (no symmetrization); duplicates are removed.
+// Arc endpoints must lie in [0, n). Use NewUndirected to symmetrize.
+func New(n int64, arcs []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, a := range arcs {
+		if a.U < 0 || a.U >= n || a.V < 0 || a.V >= n {
+			return nil, fmt.Errorf("graph: arc (%d,%d) out of range [0,%d)", a.U, a.V, n)
+		}
+	}
+	g := &Graph{n: n}
+	g.offsets = make([]int64, n+1)
+	for _, a := range arcs {
+		g.offsets[a.U+1]++
+	}
+	for i := int64(0); i < n; i++ {
+		g.offsets[i+1] += g.offsets[i]
+	}
+	g.adj = make([]int64, len(arcs))
+	next := make([]int64, n)
+	copy(next, g.offsets[:n])
+	for _, a := range arcs {
+		g.adj[next[a.U]] = a.V
+		next[a.U]++
+	}
+	g.sortAndDedup()
+	return g, nil
+}
+
+// NewUndirected builds an undirected Graph on n vertices: every off-diagonal
+// edge {u,v} is stored as both arcs, self loops as a single arc. Input
+// edges may be in either orientation and may contain duplicates.
+func NewUndirected(n int64, edges []Edge) (*Graph, error) {
+	arcs := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		arcs = append(arcs, e)
+		if e.U != e.V {
+			arcs = append(arcs, Edge{e.V, e.U})
+		}
+	}
+	return New(n, arcs)
+}
+
+// sortAndDedup sorts each adjacency row and removes duplicate arcs,
+// recomputing offsets and the loop count.
+func (g *Graph) sortAndDedup() {
+	newAdj := g.adj[:0]
+	newOff := make([]int64, g.n+1)
+	var loops int64
+	for v := int64(0); v < g.n; v++ {
+		row := g.adj[g.offsets[v]:g.offsets[v+1]]
+		slices.Sort(row)
+		start := int64(len(newAdj))
+		for i, w := range row {
+			if i > 0 && row[i-1] == w {
+				continue
+			}
+			if w == v {
+				loops++
+			}
+			newAdj = append(newAdj, w)
+		}
+		newOff[v] = start
+	}
+	newOff[g.n] = int64(len(newAdj))
+	// newAdj aliases g.adj's backing array; compaction above only moves
+	// elements leftward so this in-place rewrite is safe.
+	g.adj = newAdj
+	g.offsets = newOff
+	g.loops = loops
+}
+
+// NumVertices returns the number of vertices n.
+func (g *Graph) NumVertices() int64 { return g.n }
+
+// NumArcs returns the number of stored arcs, i.e. the number of nonzeros
+// of the adjacency matrix.
+func (g *Graph) NumArcs() int64 { return int64(len(g.adj)) }
+
+// NumEdges returns the undirected edge count: off-diagonal arc pairs
+// counted once plus self loops. For a symmetric graph this is
+// (NumArcs+NumSelfLoops)/2.
+func (g *Graph) NumEdges() int64 { return (int64(len(g.adj)) + g.loops) / 2 }
+
+// NumSelfLoops returns the number of self loops.
+func (g *Graph) NumSelfLoops() int64 { return g.loops }
+
+// Degree returns the out-degree of v: the row sum of the adjacency matrix,
+// counting a self loop once. This matches the d_i used by the paper's
+// formulas when the graph is symmetric.
+func (g *Graph) Degree(v int64) int64 { return g.offsets[v+1] - g.offsets[v] }
+
+// Degrees returns the degree vector.
+func (g *Graph) Degrees() []int64 {
+	d := make([]int64, g.n)
+	for v := int64(0); v < g.n; v++ {
+		d[v] = g.Degree(v)
+	}
+	return d
+}
+
+// MaxDegree returns the maximum degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int64 {
+	var m int64
+	for v := int64(0); v < g.n; v++ {
+		if d := g.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Neighbors returns the sorted adjacency row of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int64) []int64 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasArc reports whether the arc (u, v) is present, via binary search.
+func (g *Graph) HasArc(u, v int64) bool {
+	row := g.Neighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	return i < len(row) && row[i] == v
+}
+
+// HasSelfLoop reports whether vertex v has a self loop.
+func (g *Graph) HasSelfLoop(v int64) bool { return g.HasArc(v, v) }
+
+// ArcIndex returns the position of arc (u,v) in ArcTargets ordering, or -1
+// if absent. It is used to align per-arc annotation slices (e.g. edge
+// triangle counts) with the CSR layout.
+func (g *Graph) ArcIndex(u, v int64) int64 {
+	row := g.Neighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	if i < len(row) && row[i] == v {
+		return g.offsets[u] + int64(i)
+	}
+	return -1
+}
+
+// ArcSource returns the source vertex of the arc at CSR position idx.
+// It is the inverse of the row component of ArcIndex and costs a binary
+// search over the offset array.
+func (g *Graph) ArcSource(idx int64) int64 {
+	v := sort.Search(int(g.n), func(i int) bool { return g.offsets[i+1] > idx })
+	return int64(v)
+}
+
+// ArcTarget returns the target vertex of the arc at CSR position idx.
+func (g *Graph) ArcTarget(idx int64) int64 { return g.adj[idx] }
+
+// Arcs calls f for every stored arc (u, v) in CSR order; f returning false
+// stops the iteration early.
+func (g *Graph) Arcs(f func(u, v int64) bool) {
+	for u := int64(0); u < g.n; u++ {
+		for _, v := range g.adj[g.offsets[u]:g.offsets[u+1]] {
+			if !f(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// Edges calls f for every undirected edge exactly once, in canonical
+// (u ≤ v) order; f returning false stops early. Arcs with u > v are
+// skipped, so on a symmetric graph every edge is visited once.
+func (g *Graph) Edges(f func(u, v int64) bool) {
+	g.Arcs(func(u, v int64) bool {
+		if u > v {
+			return true
+		}
+		return f(u, v)
+	})
+}
+
+// EdgeList returns all undirected edges in canonical order.
+func (g *Graph) EdgeList() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	g.Edges(func(u, v int64) bool {
+		out = append(out, Edge{u, v})
+		return true
+	})
+	return out
+}
+
+// ArcList returns all arcs in CSR order.
+func (g *Graph) ArcList() []Edge {
+	out := make([]Edge, 0, len(g.adj))
+	g.Arcs(func(u, v int64) bool {
+		out = append(out, Edge{u, v})
+		return true
+	})
+	return out
+}
+
+// IsSymmetric reports whether for every arc (u,v) the reverse arc (v,u) is
+// also present, i.e. the graph is undirected.
+func (g *Graph) IsSymmetric() bool {
+	sym := true
+	g.Arcs(func(u, v int64) bool {
+		if !g.HasArc(v, u) {
+			sym = false
+			return false
+		}
+		return true
+	})
+	return sym
+}
+
+// Equal reports whether g and h have identical vertex counts and arc sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || len(g.adj) != len(h.adj) {
+		return false
+	}
+	for i := range g.offsets {
+		if g.offsets[i] != h.offsets[i] {
+			return false
+		}
+	}
+	for i := range g.adj {
+		if g.adj[i] != h.adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a short description like "graph{n=5 m=7 loops=2}".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d loops=%d}", g.n, g.NumEdges(), g.loops)
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchEdges(n, m int64, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{rng.Int63n(n), rng.Int63n(n)}
+	}
+	return edges
+}
+
+// CSR construction from raw edges dominates ingest cost; the sort+dedup
+// pass is the hot path.
+func BenchmarkNewUndirected(b *testing.B) {
+	edges := benchEdges(10_000, 50_000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewUndirected(10_000, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHasArc(b *testing.B) {
+	g, err := NewUndirected(10_000, benchEdges(10_000, 50_000, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasArc(int64(i)%10_000, int64(i*7)%10_000)
+	}
+}
+
+func BenchmarkArcsIteration(b *testing.B) {
+	g, err := NewUndirected(10_000, benchEdges(10_000, 50_000, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var count int64
+		g.Arcs(func(u, v int64) bool {
+			count++
+			return true
+		})
+		if count != g.NumArcs() {
+			b.Fatal("miscount")
+		}
+	}
+}
+
+func BenchmarkWithFullSelfLoops(b *testing.B) {
+	g, err := NewUndirected(10_000, benchEdges(10_000, 50_000, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.WithFullSelfLoops()
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g, err := NewUndirected(10_000, benchEdges(10_000, 20_000, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}

@@ -1,0 +1,75 @@
+package groundtruth
+
+import (
+	"math"
+
+	"kronlab/internal/core"
+)
+
+// Theta returns the vertex clustering scaling factor of Thm. 1:
+// θ_p = (d_i − 1)·(d_k − 1) / (d_i·d_k − 1), which lies in [1/3, 1) for
+// d_i, d_k ≥ 2 and is minimized (1/3) at d_i = d_k = 2.
+func Theta(di, dk int64) float64 {
+	return float64((di-1)*(dk-1)) / float64(di*dk-1)
+}
+
+// VertexClusteringAt returns the ground-truth vertex clustering
+// coefficient η_C(p) = θ_p·η_A(i)·η_B(k) for C = A ⊗ B with loop-free
+// factors (Thm. 1). NaN when d_i < 2 or d_k < 2 (η undefined).
+func VertexClusteringAt(a, b *Factor, p int64) float64 {
+	ix := core.NewIndex(b.N())
+	i, k := ix.Split(p)
+	di, dk := a.Deg[i], b.Deg[k]
+	if di < 2 || dk < 2 {
+		return math.NaN()
+	}
+	etaA := 2 * float64(a.Tri.Vertex[i]) / float64(di*(di-1))
+	etaB := 2 * float64(b.Tri.Vertex[k]) / float64(dk*(dk-1))
+	return Theta(di, dk) * etaA * etaB
+}
+
+// Phi returns the edge clustering scaling factor of Thm. 2:
+//
+//	φ_pq = (min(d_i,d_j) − 1)·(min(d_k,d_l) − 1) / (min(d_i·d_k, d_j·d_l) − 1)
+//
+// which lies in (0, 1) but — unlike θ — has no positive lower bound, so
+// edge clustering coefficients are not controllable.
+func Phi(di, dj, dk, dl int64) float64 {
+	minA := di
+	if dj < minA {
+		minA = dj
+	}
+	minB := dk
+	if dl < minB {
+		minB = dl
+	}
+	minC := di * dk
+	if dj*dl < minC {
+		minC = dj * dl
+	}
+	return float64((minA-1)*(minB-1)) / float64(minC-1)
+}
+
+// EdgeClusteringAt returns the ground-truth edge clustering coefficient
+// ξ_C(p,q) = φ_pq·ξ_A(i,j)·ξ_B(k,l) for C = A ⊗ B with loop-free factors
+// (Thm. 2). NaN when any relevant min-degree is < 2.
+func EdgeClusteringAt(a, b *Factor, p, q int64) float64 {
+	ix := core.NewIndex(b.N())
+	i, k := ix.Split(p)
+	j, l := ix.Split(q)
+	di, dj, dk, dl := a.Deg[i], a.Deg[j], b.Deg[k], b.Deg[l]
+	minA := di
+	if dj < minA {
+		minA = dj
+	}
+	minB := dk
+	if dl < minB {
+		minB = dl
+	}
+	if minA < 2 || minB < 2 {
+		return math.NaN()
+	}
+	xiA := float64(a.EdgeTri(i, j)) / float64(minA-1)
+	xiB := float64(b.EdgeTri(k, l)) / float64(minB-1)
+	return Phi(di, dj, dk, dl) * xiA * xiB
+}

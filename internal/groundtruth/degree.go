@@ -1,0 +1,99 @@
+package groundtruth
+
+import (
+	"fmt"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+)
+
+// DegreeAt returns the ground-truth degree of product vertex p = γ(i,k) of
+// C = A ⊗ B: d_C = d_A ⊗ d_B, i.e. d_p = d_i · d_k.
+func DegreeAt(a, b *Factor, p int64) int64 {
+	ix := core.NewIndex(b.N())
+	i, k := ix.Split(p)
+	return a.Deg[i] * b.Deg[k]
+}
+
+// Degrees materializes the full degree vector d_C = d_A ⊗ d_B of
+// C = A ⊗ B (length n_A·n_B).
+func Degrees(a, b *Factor) []int64 {
+	out := make([]int64, a.N()*b.N())
+	ix := core.NewIndex(b.N())
+	for i := int64(0); i < a.N(); i++ {
+		for k := int64(0); k < b.N(); k++ {
+			out[ix.Gamma(i, k)] = a.Deg[i] * b.Deg[k]
+		}
+	}
+	return out
+}
+
+// DegreesWithSelfLoops returns the degree vector of the full-self-loop
+// product C = (A+I) ⊗ (B+I) for loop-free factors:
+// d_p = (d_i + 1)·(d_k + 1), counting the self loop at p once.
+func DegreesWithSelfLoops(a, b *Factor) []int64 {
+	out := make([]int64, a.N()*b.N())
+	ix := core.NewIndex(b.N())
+	for i := int64(0); i < a.N(); i++ {
+		for k := int64(0); k < b.N(); k++ {
+			out[ix.Gamma(i, k)] = (a.Deg[i] + 1) * (b.Deg[k] + 1)
+		}
+	}
+	return out
+}
+
+// NumVertices returns n_C = n_A · n_B.
+func NumVertices(a, b *Factor) int64 { return a.N() * b.N() }
+
+// NumEdges returns m_C for C = A ⊗ B. For loop-free undirected factors
+// this is the paper's scaling law m_C = 2·m_A·m_B; in general it is
+// (arcs_A·arcs_B + loops_A·loops_B) / 2.
+func NumEdges(a, b *Factor) int64 {
+	edges, _ := core.NumProductEdges(a.G, b.G)
+	return edges
+}
+
+// ProductComponents returns the ground-truth number of connected
+// components of C = A ⊗ B for CONNECTED undirected factors with at least
+// one edge each, by Weichsel's theorem (the paper's ref [1]): the tensor
+// product of two connected graphs is connected iff at least one factor
+// has an odd closed walk (is non-bipartite, counting self loops); if both
+// are bipartite the product splits into exactly 2 components.
+//
+// The full-self-loop construction (A+I)⊗(B+I) is therefore always
+// connected for connected factors — the design reason the paper's
+// distance formulas assume loops.
+func ProductComponents(a, b *Factor) (int64, error) {
+	if !a.G.IsConnected() || !b.G.IsConnected() {
+		return 0, fmt.Errorf("groundtruth: Weichsel's theorem needs connected factors")
+	}
+	if a.G.NumEdges() == 0 || b.G.NumEdges() == 0 {
+		return 0, fmt.Errorf("groundtruth: factors need at least one edge")
+	}
+	if analytics.IsBipartite(a.G) && analytics.IsBipartite(b.G) {
+		return 2, nil
+	}
+	return 1, nil
+}
+
+// EigenvectorCentralityKron returns the ground-truth eigenvector
+// centrality of C = A ⊗ B from factor centralities: if x_A and x_B are
+// the (unit) Perron vectors of A and B, then x_A ⊗ x_B is a unit
+// eigenvector of A ⊗ B with eigenvalue λ_A·λ_B, and for connected
+// non-bipartite factors it is C's Perron vector restricted to the
+// component containing the mass — so eigenvector centrality is exactly
+// controllable, the counterpart of the paper's distance-based centrality
+// formulas for spectral centrality. iters is forwarded to the factor
+// power iterations.
+func EigenvectorCentralityKron(a, b *Factor, iters int) (vec []float64, lambda float64) {
+	xa, la := analytics.EigenvectorCentrality(a.G, iters)
+	xb, lb := analytics.EigenvectorCentrality(b.G, iters)
+	ix := core.NewIndex(b.N())
+	vec = make([]float64, a.N()*b.N())
+	for i, va := range xa {
+		for k, vb := range xb {
+			vec[ix.Gamma(int64(i), int64(k))] = va * vb
+		}
+	}
+	return vec, la * lb
+}

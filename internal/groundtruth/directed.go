@@ -1,0 +1,116 @@
+package groundtruth
+
+import (
+	"fmt"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/graph"
+)
+
+// Directed Kronecker ground-truth laws, extending the undirected results
+// the way the paper's predecessor [11] does. For loop-free directed
+// factors A and B with C = A ⊗ B:
+//
+//	out-degree:            d⁺_C = d⁺_A ⊗ d⁺_B       (row sums multiply)
+//	in-degree:             d⁻_C = d⁻_A ⊗ d⁻_B       (column sums multiply)
+//	cycle triangles:       diag(C³) = diag(A³) ⊗ diag(B³)
+//	global 3-cycles:       τ°_C = 3·τ°_A·τ°_B
+//	transitive closures:   C∘C² = (A∘A²) ⊗ (B∘B²)   (per-arc counts multiply)
+//	global transitive:     T_C = T_A·T_B
+//
+// All follow from the mixed-product rule (Prop. 1d) and
+// Hadamard–Kronecker distributivity (Prop. 2e); validated against
+// analytics.DirectedTriangles in tests.
+
+// DirectedFactor bundles a directed factor with its exact directed
+// statistics.
+type DirectedFactor struct {
+	G   *graph.Graph
+	Out []int64
+	In  []int64
+	Tri *analytics.DirectedTriangleStats
+}
+
+// NewDirectedFactor computes directed statistics for g.
+func NewDirectedFactor(g *graph.Graph) *DirectedFactor {
+	return &DirectedFactor{
+		G:   g,
+		Out: analytics.OutDegrees(g),
+		In:  analytics.InDegrees(g),
+		Tri: analytics.DirectedTriangles(g),
+	}
+}
+
+// N returns the factor's vertex count.
+func (f *DirectedFactor) N() int64 { return f.G.NumVertices() }
+
+// transArc returns the factor's transitive closure count at arc (i, j).
+func (f *DirectedFactor) transArc(i, j int64) int64 {
+	idx := f.G.ArcIndex(i, j)
+	if idx < 0 {
+		panic(fmt.Sprintf("groundtruth: (%d,%d) is not an arc of the directed factor", i, j))
+	}
+	return f.Tri.TransArc[idx]
+}
+
+// DirectedOutDegreeAt returns d⁺_p = d⁺_i·d⁺_k.
+func DirectedOutDegreeAt(a, b *DirectedFactor, p int64) int64 {
+	ix := core.NewIndex(b.N())
+	i, k := ix.Split(p)
+	return a.Out[i] * b.Out[k]
+}
+
+// DirectedInDegreeAt returns d⁻_p = d⁻_i·d⁻_k.
+func DirectedInDegreeAt(a, b *DirectedFactor, p int64) int64 {
+	ix := core.NewIndex(b.N())
+	i, k := ix.Split(p)
+	return a.In[i] * b.In[k]
+}
+
+// CycleTrianglesAt returns the directed 3-cycle count through product
+// vertex p: cyc_C(p) = cyc_A(i)·cyc_B(k).
+func CycleTrianglesAt(a, b *DirectedFactor, p int64) int64 {
+	ix := core.NewIndex(b.N())
+	i, k := ix.Split(p)
+	return a.Tri.CycleVertex[i] * b.Tri.CycleVertex[k]
+}
+
+// GlobalCycleTriangles returns τ°_C = 3·τ°_A·τ°_B.
+func GlobalCycleTriangles(a, b *DirectedFactor) int64 {
+	return 3 * a.Tri.CycleGlobal * b.Tri.CycleGlobal
+}
+
+// TransitiveAt returns the transitive-closure count of product arc (p,q):
+// (C∘C²)_pq = (A∘A²)_ij·(B∘B²)_kl.
+func TransitiveAt(a, b *DirectedFactor, p, q int64) int64 {
+	ix := core.NewIndex(b.N())
+	i, k := ix.Split(p)
+	j, l := ix.Split(q)
+	return a.transArc(i, j) * b.transArc(k, l)
+}
+
+// GlobalTransitive returns T_C = T_A·T_B.
+func GlobalTransitive(a, b *DirectedFactor) int64 {
+	return a.Tri.TransGlobal * b.Tri.TransGlobal
+}
+
+// ReciprocityKron returns the ground-truth mutual-pair and one-way arc
+// counts of C = A ⊗ B from the factor counts. With M = A∘Aᵗ the mutual
+// pattern and W = A − M the one-way pattern (both loop-free):
+//
+//	C∘Cᵗ = (A∘Aᵗ) ⊗ (B∘Bᵗ)       (Prop. 2e)
+//
+// so mutual ordered arcs multiply: 2·mut_C = (2·mut_A)·(2·mut_B), i.e.
+// mut_C = 2·mut_A·mut_B, and one-way arcs are the remainder
+// arcs_C − loops_C − 2·mut_C. Factors must be loop-free (loops would
+// enter the diagonal of C∘Cᵗ).
+func ReciprocityKron(a, b *DirectedFactor) (mutual, oneWay int64) {
+	mutA, _ := analytics.Reciprocity(a.G)
+	mutB, _ := analytics.Reciprocity(b.G)
+	mutual = 2 * mutA * mutB
+	arcsC := a.G.NumArcs() * b.G.NumArcs()
+	loopsC := a.G.NumSelfLoops() * b.G.NumSelfLoops()
+	oneWay = arcsC - loopsC - 2*mutual
+	return mutual, oneWay
+}

@@ -1,0 +1,197 @@
+package groundtruth
+
+import (
+	"math/rand"
+	"testing"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/graph"
+	"kronlab/internal/matrix"
+)
+
+// randomDirected returns a random loop-free directed graph (no
+// symmetrization).
+func randomDirected(rng *rand.Rand, maxN int64) *graph.Graph {
+	n := 2 + rng.Int63n(maxN-1)
+	m := 1 + rng.Int63n(3*n)
+	arcs := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		u, v := rng.Int63n(n), rng.Int63n(n)
+		if u == v {
+			continue
+		}
+		arcs = append(arcs, graph.Edge{U: u, V: v})
+	}
+	g, err := graph.New(n, arcs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestDirectedDegrees(t *testing.T) {
+	g, err := graph.New(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := analytics.OutDegrees(g)
+	in := analytics.InDegrees(g)
+	if out[0] != 2 || out[1] != 1 || out[2] != 0 {
+		t.Errorf("out = %v", out)
+	}
+	if in[0] != 0 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("in = %v", in)
+	}
+}
+
+// Oracle: DirectedTriangles against matrix arithmetic
+// (cycle = diag(A³), transitive = A ∘ A² with loops stripped).
+func TestDirectedTrianglesMatchMatrixOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDirected(rng, 9)
+		adj := matrix.FromGraph(g)
+		noDiag := adj.Sub(adj.DiagMatrix())
+		cube := noDiag.Pow(3)
+		trans := noDiag.Hadamard(noDiag.Pow(2))
+		st := analytics.DirectedTriangles(g)
+		for v := 0; v < int(g.NumVertices()); v++ {
+			if st.CycleVertex[v] != cube.At(v, v) {
+				t.Fatalf("trial %d: cyc(%d) = %d, oracle %d", trial, v, st.CycleVertex[v], cube.At(v, v))
+			}
+		}
+		var total int64
+		idx := int64(-1)
+		g.Arcs(func(u, v int64) bool {
+			idx++
+			if u == v {
+				return true
+			}
+			if st.TransArc[idx] != trans.At(int(u), int(v)) {
+				t.Fatalf("trial %d: trans(%d,%d) = %d, oracle %d",
+					trial, u, v, st.TransArc[idx], trans.At(int(u), int(v)))
+			}
+			total += st.TransArc[idx]
+			return true
+		})
+		if st.TransGlobal != total {
+			t.Fatalf("trial %d: TransGlobal %d != Σ %d", trial, st.TransGlobal, total)
+		}
+	}
+}
+
+func TestDirectedTrianglesKnown(t *testing.T) {
+	// A single directed 3-cycle: each vertex on 1 cycle, no transitive
+	// closures.
+	cyc, _ := graph.New(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	st := analytics.DirectedTriangles(cyc)
+	for v, c := range st.CycleVertex {
+		if c != 1 {
+			t.Errorf("cycle: cyc(%d) = %d", v, c)
+		}
+	}
+	if st.CycleGlobal != 1 || st.TransGlobal != 0 {
+		t.Errorf("cycle: global %d, trans %d", st.CycleGlobal, st.TransGlobal)
+	}
+	// A transitive triad 0→1→2, 0→2: one transitive closure, no cycles.
+	tri, _ := graph.New(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	st2 := analytics.DirectedTriangles(tri)
+	if st2.CycleGlobal != 0 || st2.TransGlobal != 1 {
+		t.Errorf("triad: cycles %d, trans %d", st2.CycleGlobal, st2.TransGlobal)
+	}
+	if st2.TransArc[tri.ArcIndex(0, 2)] != 1 {
+		t.Error("closing arc (0,2) should carry the transitive count")
+	}
+}
+
+// The directed Kronecker laws against exact counting on the product.
+func TestDirectedKroneckerLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	for trial := 0; trial < 15; trial++ {
+		ga, gb := randomDirected(rng, 8), randomDirected(rng, 8)
+		a, b := NewDirectedFactor(ga), NewDirectedFactor(gb)
+		c, err := core.Product(ga, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := analytics.DirectedTriangles(c)
+		outC := analytics.OutDegrees(c)
+		inC := analytics.InDegrees(c)
+		for p := int64(0); p < c.NumVertices(); p++ {
+			if DirectedOutDegreeAt(a, b, p) != outC[p] {
+				t.Fatalf("trial %d: out-degree law fails at %d", trial, p)
+			}
+			if DirectedInDegreeAt(a, b, p) != inC[p] {
+				t.Fatalf("trial %d: in-degree law fails at %d", trial, p)
+			}
+			if CycleTrianglesAt(a, b, p) != exact.CycleVertex[p] {
+				t.Fatalf("trial %d: cycle law fails at %d: %d != %d",
+					trial, p, CycleTrianglesAt(a, b, p), exact.CycleVertex[p])
+			}
+		}
+		if GlobalCycleTriangles(a, b) != exact.CycleGlobal {
+			t.Fatalf("trial %d: global cycle law %d != %d",
+				trial, GlobalCycleTriangles(a, b), exact.CycleGlobal)
+		}
+		if GlobalTransitive(a, b) != exact.TransGlobal {
+			t.Fatalf("trial %d: global transitive law %d != %d",
+				trial, GlobalTransitive(a, b), exact.TransGlobal)
+		}
+		idx := int64(-1)
+		c.Arcs(func(u, v int64) bool {
+			idx++
+			if u == v {
+				return true
+			}
+			if TransitiveAt(a, b, u, v) != exact.TransArc[idx] {
+				t.Fatalf("trial %d: transitive law fails at arc (%d,%d)", trial, u, v)
+			}
+			return true
+		})
+	}
+}
+
+func TestTransArcPanicsOnNonArc(t *testing.T) {
+	g, _ := graph.New(3, []graph.Edge{{U: 0, V: 1}})
+	f := NewDirectedFactor(g)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.transArc(1, 2)
+}
+
+func TestReciprocityKnown(t *testing.T) {
+	// 0↔1 mutual, 1→2 one-way.
+	g, _ := graph.New(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}})
+	mut, ow := analytics.Reciprocity(g)
+	if mut != 1 || ow != 1 {
+		t.Errorf("reciprocity = (%d,%d), want (1,1)", mut, ow)
+	}
+	// Undirected graphs are fully reciprocal.
+	und, _ := graph.NewUndirected(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	mut, ow = analytics.Reciprocity(und)
+	if mut != 2 || ow != 0 {
+		t.Errorf("undirected reciprocity = (%d,%d), want (2,0)", mut, ow)
+	}
+}
+
+func TestReciprocityKronLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(419))
+	for trial := 0; trial < 20; trial++ {
+		ga, gb := randomDirected(rng, 9), randomDirected(rng, 9)
+		a, b := NewDirectedFactor(ga), NewDirectedFactor(gb)
+		c, err := core.Product(ga, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMut, wantOW := analytics.Reciprocity(c)
+		gotMut, gotOW := ReciprocityKron(a, b)
+		if gotMut != wantMut || gotOW != wantOW {
+			t.Fatalf("trial %d: reciprocity law (%d,%d) != exact (%d,%d)",
+				trial, gotMut, gotOW, wantMut, wantOW)
+		}
+	}
+}

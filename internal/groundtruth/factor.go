@@ -1,0 +1,111 @@
+// Package groundtruth implements every Kronecker ground-truth formula in
+// the paper: degree (d_C = d_A ⊗ d_B), vertex/edge/global triangle counts
+// for loop-free factors and for full-self-loop products (Cor. 1, Cor. 2),
+// vertex and edge clustering coefficient scaling laws (Thm. 1, Thm. 2),
+// hop distance, diameter, eccentricity and closeness centrality
+// (Thm. 3–5, Cor. 3–5, including the compressed histogram form of
+// Sec. V-B), and internal/external community edge counts and densities
+// (Thm. 6, Cor. 6, Cor. 7).
+//
+// Formulas take factor-level quantities (degrees, triangle counts, hop
+// rows) computed once per factor with internal/analytics; a Factor bundles
+// them. Everything here runs in time polynomial in the factor sizes —
+// sublinear in |E_C| — which is the paper's point.
+package groundtruth
+
+import (
+	"fmt"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/graph"
+)
+
+// Factor bundles a factor graph with the exact per-factor statistics the
+// Kronecker formulas consume. Build one per factor with NewFactor; the
+// cost is polynomial in the (small) factor, never in the product.
+type Factor struct {
+	G   *graph.Graph
+	Deg []int64                  // degree vector d
+	Tri *analytics.TriangleStats // t (vertex), Δ (arc), τ (global)
+
+	// Distance data, computed lazily by EnsureDistances: hop-count rows
+	// hops(i, ·), eccentricities, and the diameter.
+	Hops [][]int64
+	Ecc  []int64
+	Diam int64
+
+	hasDistances bool
+}
+
+// NewFactor computes degrees and triangle statistics for g.
+func NewFactor(g *graph.Graph) *Factor {
+	return &Factor{
+		G:   g,
+		Deg: g.Degrees(),
+		Tri: analytics.Triangles(g),
+	}
+}
+
+// EnsureDistances computes the all-pairs hop matrix, eccentricities and
+// diameter of the factor if not already present. Cost O(n·(n+arcs)).
+func (f *Factor) EnsureDistances() {
+	if f.hasDistances {
+		return
+	}
+	f.Hops = analytics.AllPairsHops(f.G)
+	n := f.G.NumVertices()
+	f.Ecc = make([]int64, n)
+	f.Diam = 0
+	for i := int64(0); i < n; i++ {
+		ecc := int64(0)
+		for _, h := range f.Hops[i] {
+			if h == analytics.Unreachable {
+				ecc = analytics.Unreachable
+				break
+			}
+			if h > ecc {
+				ecc = h
+			}
+		}
+		f.Ecc[i] = ecc
+		if ecc == analytics.Unreachable {
+			f.Diam = analytics.Unreachable
+		} else if f.Diam != analytics.Unreachable && ecc > f.Diam {
+			f.Diam = ecc
+		}
+	}
+	f.hasDistances = true
+}
+
+// N returns the factor's vertex count.
+func (f *Factor) N() int64 { return f.G.NumVertices() }
+
+// EdgeTri returns Δ_ij for the factor, with the Cor. 2 convention that
+// diagonal entries (i = j) are 0 for loop-free factors.
+func (f *Factor) EdgeTri(i, j int64) int64 {
+	if i == j {
+		return 0
+	}
+	idx := f.G.ArcIndex(i, j)
+	if idx < 0 {
+		panic(fmt.Sprintf("groundtruth: (%d,%d) is not an arc of the factor", i, j))
+	}
+	return f.Tri.Arc[idx]
+}
+
+// RequireNoSelfLoops panics if the factor has self loops; used by formulas
+// whose hypotheses demand A∘I = O (e.g. Thm. 1, Cor. 1).
+func (f *Factor) RequireNoSelfLoops(formula string) {
+	if f.G.NumSelfLoops() != 0 {
+		panic(fmt.Sprintf("groundtruth: %s requires a loop-free factor, got %d self loops", formula, f.G.NumSelfLoops()))
+	}
+}
+
+// RequireFullSelfLoops panics if any vertex of the factor lacks a self
+// loop; used by the distance formulas (Thm. 3, Cor. 3–4, Thm. 4) whose
+// hypothesis is A∘I = I.
+func (f *Factor) RequireFullSelfLoops(formula string) {
+	if f.G.NumSelfLoops() != f.G.NumVertices() {
+		panic(fmt.Sprintf("groundtruth: %s requires full self loops, got %d/%d", formula, f.G.NumSelfLoops(), f.G.NumVertices()))
+	}
+}

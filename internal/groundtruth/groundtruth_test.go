@@ -1,0 +1,782 @@
+package groundtruth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/graph"
+)
+
+// randomLoopFree returns a random loop-free undirected graph.
+func randomLoopFree(rng *rand.Rand, maxN int64) *graph.Graph {
+	n := 2 + rng.Int63n(maxN-1)
+	m := 1 + rng.Int63n(3*n)
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		u, v := rng.Int63n(n), rng.Int63n(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g, err := graph.NewUndirected(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// randomConnectedLoopFree retries until the graph is connected (needed by
+// distance laws so eccentricities are finite).
+func randomConnectedLoopFree(rng *rand.Rand, maxN int64) *graph.Graph {
+	for {
+		g := randomLoopFree(rng, maxN)
+		if g.IsConnected() {
+			return g
+		}
+	}
+}
+
+func mustProduct(t *testing.T, a, b *graph.Graph) *graph.Graph {
+	t.Helper()
+	c, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// ---------- degree law ----------
+
+func TestDegreeLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		ga, gb := randomLoopFree(rng, 9), randomLoopFree(rng, 9)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		pred := Degrees(a, b)
+		for p := int64(0); p < c.NumVertices(); p++ {
+			if c.Degree(p) != pred[p] {
+				t.Fatalf("trial %d: d_%d = %d, predicted %d", trial, p, c.Degree(p), pred[p])
+			}
+			if DegreeAt(a, b, p) != pred[p] {
+				t.Fatalf("trial %d: DegreeAt disagrees with Degrees at %d", trial, p)
+			}
+		}
+		if NumVertices(a, b) != c.NumVertices() || NumEdges(a, b) != c.NumEdges() {
+			t.Fatalf("trial %d: size laws broken", trial)
+		}
+	}
+}
+
+func TestDegreeLawWithSelfLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 15; trial++ {
+		ga, gb := randomLoopFree(rng, 8), randomLoopFree(rng, 8)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c, err := core.ProductWithSelfLoops(ga, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := DegreesWithSelfLoops(a, b)
+		for p := int64(0); p < c.NumVertices(); p++ {
+			if c.Degree(p) != pred[p] {
+				t.Fatalf("trial %d: loop-product d_%d = %d, predicted %d",
+					trial, p, c.Degree(p), pred[p])
+			}
+		}
+	}
+}
+
+// ---------- triangle laws, loop-free product ----------
+
+func TestVertexTriangleLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 20; trial++ {
+		ga, gb := randomLoopFree(rng, 9), randomLoopFree(rng, 9)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		exact := analytics.Triangles(c)
+		pred := VertexTriangles(a, b)
+		for p := int64(0); p < c.NumVertices(); p++ {
+			if exact.Vertex[p] != pred[p] {
+				t.Fatalf("trial %d: t_%d exact %d, predicted %d", trial, p, exact.Vertex[p], pred[p])
+			}
+		}
+		if got := GlobalTriangles(a, b); got != exact.Global {
+			t.Fatalf("trial %d: τ exact %d, predicted %d", trial, exact.Global, got)
+		}
+	}
+}
+
+func TestEdgeTriangleLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		ga, gb := randomLoopFree(rng, 8), randomLoopFree(rng, 8)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		exact := analytics.Triangles(c)
+		idx := int64(-1)
+		c.Arcs(func(u, v int64) bool {
+			idx++
+			if u == v {
+				return true
+			}
+			if got := EdgeTrianglesAt(a, b, u, v); got != exact.Arc[idx] {
+				t.Fatalf("trial %d: Δ(%d,%d) exact %d, predicted %d",
+					trial, u, v, exact.Arc[idx], got)
+			}
+			return true
+		})
+	}
+}
+
+// ---------- Cor. 1 / Cor. 2: full self loops ----------
+
+func TestCor1VertexTrianglesFullLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 20; trial++ {
+		ga, gb := randomLoopFree(rng, 8), randomLoopFree(rng, 8)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c, err := core.ProductWithSelfLoops(ga, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := analytics.Triangles(c)
+		pred := VertexTrianglesFullLoops(a, b)
+		for p := int64(0); p < c.NumVertices(); p++ {
+			if exact.Vertex[p] != pred[p] {
+				t.Fatalf("trial %d: Cor.1 t_%d exact %d, predicted %d",
+					trial, p, exact.Vertex[p], pred[p])
+			}
+		}
+		if got := GlobalTrianglesFullLoops(a, b); got != exact.Global {
+			t.Fatalf("trial %d: Cor.1 τ exact %d, predicted %d", trial, exact.Global, got)
+		}
+	}
+}
+
+func TestCor1KnownExample(t *testing.T) {
+	// A = B = K2: C = (K2+I)⊗(K2+I) = K4 with loops; t_p = 3 everywhere.
+	k2, _ := graph.NewUndirected(2, []graph.Edge{{U: 0, V: 1}})
+	a := NewFactor(k2)
+	for p := int64(0); p < 4; p++ {
+		if got := VertexTrianglesFullLoopsAt(a, a, p); got != 3 {
+			t.Errorf("K2⊗K2 Cor.1 t_%d = %d, want 3", p, got)
+		}
+	}
+}
+
+func TestCor2EdgeTrianglesFullLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		ga, gb := randomLoopFree(rng, 7), randomLoopFree(rng, 7)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c, err := core.ProductWithSelfLoops(ga, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := analytics.Triangles(c)
+		idx := int64(-1)
+		c.Arcs(func(u, v int64) bool {
+			idx++
+			if u == v {
+				return true
+			}
+			if got := EdgeTrianglesFullLoopsAt(a, b, u, v); got != exact.Arc[idx] {
+				t.Fatalf("trial %d: Cor.2 Δ(%d,%d) exact %d, predicted %d",
+					trial, u, v, exact.Arc[idx], got)
+			}
+			return true
+		})
+	}
+}
+
+// TestCor2PaperTypo documents why this implementation deviates from the
+// printed Cor. 2: on C = (K2+I)⊗(K2+I) = K4+loops, the edge
+// (γ(0,0), γ(0,1)) has i=j, and the printed formula gives 4 while the true
+// count (and the appendix expansion) give 2.
+func TestCor2PaperTypo(t *testing.T) {
+	k2, _ := graph.NewUndirected(2, []graph.Edge{{U: 0, V: 1}})
+	a := NewFactor(k2)
+	c, err := core.ProductWithSelfLoops(k2, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge p=γ(0,0)=0, q=γ(0,1)=1 (A-side diagonal, i=j=0).
+	exact := analytics.EdgeTriangles(c, 0, 1)
+	if exact != 2 {
+		t.Fatalf("exact Δ(0,1) on K4 = %d, want 2", exact)
+	}
+	if got := EdgeTrianglesFullLoopsAt(a, a, 0, 1); got != exact {
+		t.Fatalf("corrected Cor.2 = %d, exact %d", got, exact)
+	}
+	// The printed formula: Δkl(di+1)δ(i,j) + 2(diδ(i,j) + dkδ(k,l) + 1)
+	// = 0·2·1 + 2·(1+0+1) = 4 ≠ 2.
+	printed := int64(0*2 + 2*(1+0+1))
+	if printed == exact {
+		t.Fatal("paper formula unexpectedly matches; typo note is stale")
+	}
+}
+
+func TestCor2PanicsOnLoop(t *testing.T) {
+	k2, _ := graph.NewUndirected(2, []graph.Edge{{U: 0, V: 1}})
+	a := NewFactor(k2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p == q")
+		}
+	}()
+	EdgeTrianglesFullLoopsAt(a, a, 0, 0)
+}
+
+func TestRequireGuards(t *testing.T) {
+	loopy, _ := graph.NewUndirected(2, []graph.Edge{{U: 0, V: 0}, {U: 0, V: 1}})
+	f := NewFactor(loopy)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RequireNoSelfLoops should panic")
+			}
+		}()
+		f.RequireNoSelfLoops("test")
+	}()
+	bare, _ := graph.NewUndirected(2, []graph.Edge{{U: 0, V: 1}})
+	fb := NewFactor(bare)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RequireFullSelfLoops should panic")
+			}
+		}()
+		fb.RequireFullSelfLoops("test")
+	}()
+	// And the happy paths must not panic.
+	fb.RequireNoSelfLoops("test")
+	NewFactor(bare.WithFullSelfLoops()).RequireFullSelfLoops("test")
+}
+
+func TestEdgeTriPanicsOnNonArc(t *testing.T) {
+	k2, _ := graph.NewUndirected(3, []graph.Edge{{U: 0, V: 1}})
+	f := NewFactor(k2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-arc")
+		}
+	}()
+	f.EdgeTri(0, 2)
+}
+
+// ---------- clustering scaling laws ----------
+
+func TestThm1VertexClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 15; trial++ {
+		ga, gb := randomLoopFree(rng, 9), randomLoopFree(rng, 9)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		exact := analytics.VertexClustering(c)
+		ix := core.NewIndex(b.N())
+		for p := int64(0); p < c.NumVertices(); p++ {
+			i, k := ix.Split(p)
+			if a.Deg[i] < 2 || b.Deg[k] < 2 {
+				continue
+			}
+			pred := VertexClusteringAt(a, b, p)
+			if math.Abs(exact[p]-pred) > 1e-9 {
+				t.Fatalf("trial %d: η(%d) exact %v, predicted %v", trial, p, exact[p], pred)
+			}
+		}
+	}
+}
+
+func TestThetaRange(t *testing.T) {
+	if th := Theta(2, 2); math.Abs(th-1.0/3) > 1e-12 {
+		t.Errorf("θ(2,2) = %v, want 1/3", th)
+	}
+	f := func(diRaw, dkRaw uint8) bool {
+		di, dk := int64(diRaw%60)+2, int64(dkRaw%60)+2
+		th := Theta(di, dk)
+		return th >= 1.0/3-1e-12 && th < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Monotone increasing in each argument.
+	if Theta(3, 2) <= Theta(2, 2) || Theta(2, 3) <= Theta(2, 2) {
+		t.Error("θ must increase with degree")
+	}
+}
+
+func TestThm2EdgeClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		ga, gb := randomLoopFree(rng, 8), randomLoopFree(rng, 8)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		exact := analytics.EdgeClustering(c)
+		ix := core.NewIndex(b.N())
+		idx := int64(-1)
+		c.Arcs(func(u, v int64) bool {
+			idx++
+			if u == v {
+				return true
+			}
+			// Thm. 2 hypothesis: Δ_ij, Δ_kl > 0 and all four factor
+			// degrees ≥ 2. Outside it, the law does not apply.
+			i, k := ix.Split(u)
+			j, l := ix.Split(v)
+			if a.Deg[i] < 2 || a.Deg[j] < 2 || b.Deg[k] < 2 || b.Deg[l] < 2 ||
+				a.EdgeTri(i, j) == 0 || b.EdgeTri(k, l) == 0 {
+				return true
+			}
+			pred := EdgeClusteringAt(a, b, u, v)
+			if math.IsNaN(pred) {
+				t.Fatalf("trial %d: ξ(%d,%d) NaN under Thm.2 hypothesis", trial, u, v)
+			}
+			if math.Abs(exact[idx]-pred) > 1e-9 {
+				t.Fatalf("trial %d: ξ(%d,%d) exact %v, predicted %v",
+					trial, u, v, exact[idx], pred)
+			}
+			return true
+		})
+	}
+}
+
+func TestPhiCanBeArbitrarilySmall(t *testing.T) {
+	// Thm. 2's point: with disassortative degrees,
+	// φ = (d_i−1)(d_l−1)/(d_i·d_k−1) → 0 as d_k grows.
+	small := Phi(2, 100, 100, 2)
+	if small > 0.05 {
+		t.Errorf("φ(2,100,100,2) = %v, expected near 0", small)
+	}
+	if small <= 0 || small >= 1 {
+		t.Errorf("φ out of (0,1): %v", small)
+	}
+}
+
+// ---------- distances ----------
+
+func TestThm3HopsMaxLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 10; trial++ {
+		ga := randomConnectedLoopFree(rng, 7).WithFullSelfLoops()
+		gb := randomConnectedLoopFree(rng, 7).WithFullSelfLoops()
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		rows := analytics.AllPairsHops(c)
+		for p := int64(0); p < c.NumVertices(); p++ {
+			for q := int64(0); q < c.NumVertices(); q++ {
+				if got := HopsAt(a, b, p, q); got != rows[p][q] {
+					t.Fatalf("trial %d: hops(%d,%d) exact %d, predicted %d",
+						trial, p, q, rows[p][q], got)
+				}
+			}
+		}
+	}
+}
+
+func TestCor4Eccentricity(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 10; trial++ {
+		ga := randomConnectedLoopFree(rng, 8).WithFullSelfLoops()
+		gb := randomConnectedLoopFree(rng, 8).WithFullSelfLoops()
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		exact := analytics.Eccentricities(c)
+		pred := Eccentricities(a, b)
+		for p := range exact {
+			if exact[p] != pred[p] {
+				t.Fatalf("trial %d: ε(%d) exact %d, predicted %d", trial, p, exact[p], pred[p])
+			}
+		}
+	}
+}
+
+func TestCor3Diameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 10; trial++ {
+		ga := randomConnectedLoopFree(rng, 8).WithFullSelfLoops()
+		gb := randomConnectedLoopFree(rng, 8).WithFullSelfLoops()
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		if got, want := Diameter(a, b), analytics.Diameter(c); got != want {
+			t.Fatalf("trial %d: diameter predicted %d, exact %d", trial, got, want)
+		}
+	}
+}
+
+func TestThm5AndCor5Bounds(t *testing.T) {
+	// A with full self loops, B undirected loop-free.
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 10; trial++ {
+		ga := randomConnectedLoopFree(rng, 7).WithFullSelfLoops()
+		gb := randomConnectedLoopFree(rng, 7)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		if !c.IsSymmetric() {
+			t.Fatal("product should be symmetric")
+		}
+		rows := analytics.AllPairsHops(c)
+		diamLo, diamHi := DiameterBounds(a, b)
+		cd := analytics.Diameter(c)
+		if cd != analytics.Unreachable && (cd < diamLo || cd > diamHi) {
+			t.Fatalf("trial %d: diam %d outside [%d,%d]", trial, cd, diamLo, diamHi)
+		}
+		for p := int64(0); p < c.NumVertices(); p++ {
+			for q := int64(0); q < c.NumVertices(); q++ {
+				lo, hi := HopsBoundsAt(a, b, p, q)
+				h := rows[p][q]
+				if h == analytics.Unreachable {
+					continue // B disconnected pairs may be unreachable in C
+				}
+				if lo == analytics.Unreachable {
+					continue
+				}
+				if h < lo || h > hi {
+					t.Fatalf("trial %d: hops(%d,%d)=%d outside [%d,%d]", trial, p, q, h, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestThm4ClosenessDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 8; trial++ {
+		ga := randomConnectedLoopFree(rng, 7).WithFullSelfLoops()
+		gb := randomConnectedLoopFree(rng, 7).WithFullSelfLoops()
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		for p := int64(0); p < c.NumVertices(); p++ {
+			exact := analytics.Closeness(c, p)
+			if pred := ClosenessAt(a, b, p); math.Abs(exact-pred) > 1e-9 {
+				t.Fatalf("trial %d: ζ(%d) exact %v, predicted %v", trial, p, exact, pred)
+			}
+		}
+	}
+}
+
+func TestClosenessCompressedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		ga := randomConnectedLoopFree(rng, 9).WithFullSelfLoops()
+		gb := randomConnectedLoopFree(rng, 9).WithFullSelfLoops()
+		a, b := NewFactor(ga), NewFactor(gb)
+		for p := int64(0); p < a.N()*b.N(); p += 3 {
+			direct := ClosenessAt(a, b, p)
+			compressed := ClosenessCompressedAt(a, b, p)
+			if math.Abs(direct-compressed) > 1e-9 {
+				t.Fatalf("trial %d: ζ(%d) direct %v, compressed %v", trial, p, direct, compressed)
+			}
+		}
+	}
+}
+
+func TestClosenessCompressedDisconnectedFallback(t *testing.T) {
+	// Disconnected factor: compressed form must fall back to direct sum.
+	ga, _ := graph.NewUndirected(3, []graph.Edge{{U: 0, V: 1}})
+	gal := ga.WithFullSelfLoops()
+	a := NewFactor(gal)
+	if d, c := ClosenessAt(a, a, 0), ClosenessCompressedAt(a, a, 0); math.Abs(d-c) > 1e-9 {
+		t.Errorf("disconnected: direct %v != compressed %v", d, c)
+	}
+}
+
+// ---------- communities ----------
+
+func randomPartition(rng *rand.Rand, n int64, k int) [][]int64 {
+	parts := make([][]int64, k)
+	for v := int64(0); v < n; v++ {
+		b := rng.Intn(k)
+		parts[b] = append(parts[b], v)
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestThm6CommunityCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 15; trial++ {
+		ga, gb := randomLoopFree(rng, 9), randomLoopFree(rng, 9)
+		a, b := NewFactor(ga), NewFactor(gb)
+		c, err := core.ProductWithSelfLoops(ga, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa := randomPartition(rng, ga.NumVertices(), 3)
+		pb := randomPartition(rng, gb.NumVertices(), 3)
+		statsA := analytics.Communities(ga, pa)
+		statsB := analytics.Communities(gb, pb)
+		for ai := range pa {
+			for bi := range pb {
+				pred := CommunityKron(a, b, statsA[ai], statsB[bi])
+				sc := core.KronSet(pa[ai], pb[bi], b.N())
+				meas := analytics.Community(c, sc)
+				if pred.MIn != meas.MIn {
+					t.Fatalf("trial %d: m_in predicted %d, exact %d", trial, pred.MIn, meas.MIn)
+				}
+				if pred.MOut != meas.MOut {
+					t.Fatalf("trial %d: m_out predicted %d, exact %d", trial, pred.MOut, meas.MOut)
+				}
+				if math.Abs(pred.RhoIn-meas.RhoIn) > 1e-12 || math.Abs(pred.RhoOut-meas.RhoOut) > 1e-12 {
+					t.Fatalf("trial %d: densities disagree", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestCor6Cor7Bounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 15; trial++ {
+		ga, gb := randomLoopFree(rng, 10), randomLoopFree(rng, 10)
+		a, b := NewFactor(ga), NewFactor(gb)
+		pa := randomPartition(rng, ga.NumVertices(), 3)
+		pb := randomPartition(rng, gb.NumVertices(), 3)
+		statsA := analytics.Communities(ga, pa)
+		statsB := analytics.Communities(gb, pb)
+		for ai := range pa {
+			for bi := range pb {
+				sa, sb := statsA[ai], statsB[bi]
+				pred := CommunityKron(a, b, sa, sb)
+				if sa.Size > 1 && sb.Size > 1 {
+					if lo := RhoInLowerBound(sa, sb); pred.RhoIn < lo-1e-12 {
+						t.Fatalf("trial %d: Cor.6 violated: ρ_in %v < bound %v", trial, pred.RhoIn, lo)
+					}
+				}
+				if sa.MOut >= sa.Size && sb.MOut >= sb.Size {
+					if hi := RhoOutUpperBound(a, b, sa, sb); pred.RhoOut > hi+1e-12 {
+						t.Fatalf("trial %d: Cor.7 violated: ρ_out %v > bound %v", trial, pred.RhoOut, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEx1DisjointCliques(t *testing.T) {
+	// Ex. 1: x_A cliques of size y_A ⊗ x_B cliques of size y_B gives
+	// x_A·x_B cliques of size y_A·y_B.
+	cliques := func(x, y int64) *graph.Graph {
+		var edges []graph.Edge
+		for c := int64(0); c < x; c++ {
+			for u := int64(0); u < y; u++ {
+				for v := u + 1; v < y; v++ {
+					edges = append(edges, graph.Edge{U: c*y + u, V: c*y + v})
+				}
+			}
+		}
+		g, err := graph.NewUndirected(x*y, edges)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	ga, gb := cliques(2, 3), cliques(3, 2)
+	c, err := core.ProductWithSelfLoops(ga, gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, count := c.ConnectedComponents()
+	if count != 6 {
+		t.Fatalf("components = %d, want 2·3 = 6", count)
+	}
+	// Each component is a clique of size 6 with loops: every vertex degree 6.
+	for v := int64(0); v < c.NumVertices(); v++ {
+		if c.Degree(v) != 6 {
+			t.Fatalf("degree(%d) = %d, want 6 (clique of 6 + loop)", v, c.Degree(v))
+		}
+	}
+}
+
+func TestNumCommunities(t *testing.T) {
+	if NumCommunities([][]int64{{0}, {1}}, [][]int64{{0}, {1}, {2}}) != 6 {
+		t.Error("|Π_C| should be 6")
+	}
+}
+
+// ---------- scaling-law table ----------
+
+func TestScalingLawsAllHold(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	ga := randomConnectedLoopFree(rng, 8)
+	gb := randomConnectedLoopFree(rng, 8)
+	a, b := NewFactor(ga), NewFactor(gb)
+	pa := randomPartition(rng, ga.NumVertices(), 2)
+	pb := randomPartition(rng, gb.NumVertices(), 2)
+	rows, err := ScalingLaws(a, b, pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12 (the full Sec. I table)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("law %q failed: predicted %s, measured %s", r.Quantity, r.Predicted, r.Measured)
+		}
+	}
+}
+
+// MaxLawHistogram must agree with brute-force pair enumeration.
+func TestMaxLawHistogram(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int64, 1+rng.Intn(20))
+		ys := make([]int64, 1+rng.Intn(20))
+		for i := range xs {
+			xs[i] = rng.Int63n(6)
+		}
+		for i := range ys {
+			ys[i] = rng.Int63n(6)
+		}
+		brute := map[int64]int64{}
+		for _, x := range xs {
+			for _, y := range ys {
+				m := x
+				if y > m {
+					m = y
+				}
+				brute[m]++
+			}
+		}
+		got := MaxLawHistogram(xs, ys)
+		if len(got) != len(brute) {
+			return false
+		}
+		for k, v := range brute {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// EccentricityHistogram must equal the histogram of the materialized ε_C.
+func TestEccentricityHistogramMatchesVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	ga := randomConnectedLoopFree(rng, 8).WithFullSelfLoops()
+	gb := randomConnectedLoopFree(rng, 8).WithFullSelfLoops()
+	a, b := NewFactor(ga), NewFactor(gb)
+	hist := EccentricityHistogram(a, b)
+	vec := Eccentricities(a, b)
+	counts := map[int64]int64{}
+	for _, e := range vec {
+		counts[e]++
+	}
+	if len(hist) != len(counts) {
+		t.Fatalf("histogram size %d, want %d", len(hist), len(counts))
+	}
+	for k, v := range counts {
+		if hist[k] != v {
+			t.Fatalf("hist[%d] = %d, want %d", k, hist[k], v)
+		}
+	}
+}
+
+// Weichsel's theorem (paper ref [1]): A⊗B connectivity from factor
+// bipartiteness, validated against materialized component counts.
+func TestWeichselProductComponents(t *testing.T) {
+	even := func(n int64) *graph.Graph { // even ring = bipartite
+		edges := make([]graph.Edge, n)
+		for v := int64(0); v < n; v++ {
+			edges[v] = graph.Edge{U: v, V: (v + 1) % n}
+		}
+		g, _ := graph.NewUndirected(n, edges)
+		return g
+	}
+	odd := func(n int64) *graph.Graph { return even(n) } // odd ring = non-bipartite
+	cases := []struct {
+		name string
+		a, b *graph.Graph
+		want int64
+	}{
+		{"bipartite ⊗ bipartite", even(4), even(6), 2},
+		{"bipartite ⊗ odd", even(4), odd(5), 1},
+		{"odd ⊗ odd", odd(3), odd(5), 1},
+		{"loops force connectivity", even(4).WithFullSelfLoops(), even(6).WithFullSelfLoops(), 1},
+	}
+	for _, tc := range cases {
+		fa, fb := NewFactor(tc.a), NewFactor(tc.b)
+		got, err := ProductComponents(fa, fb)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: predicted %d, want %d", tc.name, got, tc.want)
+		}
+		c, err := core.Product(tc.a, tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, meas := c.ConnectedComponents(); meas != got {
+			t.Errorf("%s: predicted %d, measured %d", tc.name, got, meas)
+		}
+	}
+	// Random validation.
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 15; trial++ {
+		ga := randomConnectedLoopFree(rng, 8)
+		gb := randomConnectedLoopFree(rng, 8)
+		if ga.NumEdges() == 0 || gb.NumEdges() == 0 {
+			continue
+		}
+		fa, fb := NewFactor(ga), NewFactor(gb)
+		pred, err := ProductComponents(fa, fb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Product(ga, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, meas := c.ConnectedComponents(); meas != pred {
+			t.Fatalf("trial %d: Weichsel predicted %d, measured %d", trial, pred, meas)
+		}
+	}
+	// Error paths.
+	dis, _ := graph.NewUndirected(3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := ProductComponents(NewFactor(dis), NewFactor(dis)); err == nil {
+		t.Error("disconnected factors should error")
+	}
+}
+
+// Eigenvector centrality law: x_C = x_A ⊗ x_B and λ_C = λ_A·λ_B, checked
+// against direct power iteration on the materialized product. Requires
+// connected non-bipartite factors so the Perron vector is unique; full
+// self loops guarantee non-bipartiteness.
+func TestEigenvectorCentralityKron(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 6; trial++ {
+		ga := randomConnectedLoopFree(rng, 7).WithFullSelfLoops()
+		gb := randomConnectedLoopFree(rng, 7).WithFullSelfLoops()
+		a, b := NewFactor(ga), NewFactor(gb)
+		c := mustProduct(t, ga, gb)
+		pred, lamPred := EigenvectorCentralityKron(a, b, 400)
+		got, lamGot := analytics.EigenvectorCentrality(c, 400)
+		if math.Abs(lamPred-lamGot) > 1e-6*math.Max(1, lamGot) {
+			t.Fatalf("trial %d: λ law %v vs %v", trial, lamPred, lamGot)
+		}
+		// Eigenvectors agree up to sign; Perron vectors are positive so
+		// direct comparison is fine once both are positive.
+		for p := range pred {
+			if math.Abs(pred[p]-got[p]) > 1e-5 {
+				t.Fatalf("trial %d: x(%d) law %v vs %v", trial, p, pred[p], got[p])
+			}
+		}
+	}
+}

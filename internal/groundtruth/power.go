@@ -1,0 +1,177 @@
+package groundtruth
+
+import (
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+)
+
+// Ground-truth laws for Kronecker powers C = A^{⊗k}, obtained from the
+// paper's two-factor laws by induction. The per-vertex forms take the k
+// factor coordinates from core.PowerIndex.
+
+// PowerNumVertices returns n_C = n_A^k.
+func PowerNumVertices(a *Factor, k int) int64 {
+	out := int64(1)
+	for i := 0; i < k; i++ {
+		out *= a.N()
+	}
+	return out
+}
+
+// PowerNumEdges returns m_C = 2^{k−1}·m_A^k for a loop-free undirected
+// factor (induction on m_C = 2·m_A·m_B).
+func PowerNumEdges(a *Factor, k int) int64 {
+	out := a.G.NumEdges()
+	for i := 1; i < k; i++ {
+		out *= 2 * a.G.NumEdges()
+	}
+	return out
+}
+
+// PowerDegreeAt returns d_p = Π_d d_{coords[d]}.
+func PowerDegreeAt(a *Factor, coords []int64) int64 {
+	out := int64(1)
+	for _, c := range coords {
+		out *= a.Deg[c]
+	}
+	return out
+}
+
+// PowerVertexTrianglesAt returns t_p = 2^{k−1}·Π_d t_{coords[d]} for a
+// loop-free factor (induction on t_C = 2·t_A⊗t_B).
+func PowerVertexTrianglesAt(a *Factor, coords []int64) int64 {
+	out := a.Tri.Vertex[coords[0]]
+	for _, c := range coords[1:] {
+		out *= 2 * a.Tri.Vertex[c]
+	}
+	return out
+}
+
+// PowerGlobalTriangles returns τ_C = 6^{k−1}·τ_A^k (induction on
+// τ_C = 6·τ_A·τ_B).
+func PowerGlobalTriangles(a *Factor, k int) int64 {
+	out := a.Tri.Global
+	for i := 1; i < k; i++ {
+		out *= 6 * a.Tri.Global
+	}
+	return out
+}
+
+// PowerEccentricityAt returns ε_p = max_d ε_{coords[d]} for a factor with
+// full self loops (induction on Cor. 4). Unreachable if the factor is
+// disconnected.
+func PowerEccentricityAt(a *Factor, coords []int64) int64 {
+	a.EnsureDistances()
+	out := int64(0)
+	for _, c := range coords {
+		e := a.Ecc[c]
+		if e == analytics.Unreachable {
+			return analytics.Unreachable
+		}
+		if e > out {
+			out = e
+		}
+	}
+	return out
+}
+
+// PowerDiameter returns diam(A^{⊗k}) = diam(A) for a full-self-loop
+// factor (Cor. 3 collapses under identical factors).
+func PowerDiameter(a *Factor) int64 {
+	a.EnsureDistances()
+	return a.Diam
+}
+
+// PowerHopsAt returns hops between two vertices of A^{⊗k} given their
+// coordinate vectors (Thm. 3 by induction): max_d hops(coords1[d],
+// coords2[d]).
+func PowerHopsAt(a *Factor, coords1, coords2 []int64) int64 {
+	a.EnsureDistances()
+	out := int64(0)
+	for d := range coords1 {
+		h := a.Hops[coords1[d]][coords2[d]]
+		if h == analytics.Unreachable {
+			return analytics.Unreachable
+		}
+		if h > out {
+			out = h
+		}
+	}
+	return out
+}
+
+// PowerEccentricityHistogram returns the ε histogram of A^{⊗k} by
+// folding the max-law histogram k−1 times — Fig. 1 for arbitrary powers
+// without materializing anything. The fold uses expanded value lists per
+// level, so cost is O(k·diam²) after factor eccentricities.
+func PowerEccentricityHistogram(a *Factor, k int) map[int64]int64 {
+	a.EnsureDistances()
+	cur := map[int64]int64{}
+	for _, e := range a.Ecc {
+		cur[e]++
+	}
+	base := cur
+	for i := 1; i < k; i++ {
+		cur = maxLawFold(cur, base)
+	}
+	return cur
+}
+
+// maxLawFold combines two value→count histograms under the max law.
+func maxLawFold(x, y map[int64]int64) map[int64]int64 {
+	xs := histToSorted(x)
+	ys := histToSorted(y)
+	out := map[int64]int64{}
+	var cumX, cumY int64
+	// Merge over the union of keys in ascending order.
+	i, j := 0, 0
+	for i < len(xs) || j < len(ys) {
+		var v int64
+		switch {
+		case i >= len(xs):
+			v = ys[j].val
+		case j >= len(ys):
+			v = xs[i].val
+		case xs[i].val < ys[j].val:
+			v = xs[i].val
+		default:
+			v = ys[j].val
+		}
+		var cx, cy int64
+		if i < len(xs) && xs[i].val == v {
+			cx = xs[i].cnt
+			i++
+		}
+		if j < len(ys) && ys[j].val == v {
+			cy = ys[j].cnt
+			j++
+		}
+		if c := cx*(cumY+cy) + cumX*cy; c > 0 {
+			out[v] = c
+		}
+		cumX += cx
+		cumY += cy
+	}
+	return out
+}
+
+type valCnt struct{ val, cnt int64 }
+
+func histToSorted(h map[int64]int64) []valCnt {
+	out := make([]valCnt, 0, len(h))
+	for v, c := range h {
+		out = append(out, valCnt{v, c})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].val < out[j-1].val; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// PowerCoordsOf is a convenience wrapper returning the coordinates of p
+// in A^{⊗k}.
+func PowerCoordsOf(a *Factor, k int, p int64) []int64 {
+	return core.NewPowerIndex(a.N(), k).Split(p)
+}

@@ -1,0 +1,160 @@
+package groundtruth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+)
+
+func TestPowerIndexRoundTrip(t *testing.T) {
+	f := func(pRaw int64, nRaw, kRaw uint8) bool {
+		n := int64(nRaw%9) + 2
+		k := int(kRaw%4) + 1
+		px := core.NewPowerIndex(n, k)
+		p := pRaw
+		if p < 0 {
+			p = -p
+		}
+		p %= px.NumVertices()
+		return px.Join(px.Split(p)) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerIndexConsistentWithPairIndex(t *testing.T) {
+	// A^{⊗2} coordinates must agree with the two-factor γ map.
+	px := core.NewPowerIndex(7, 2)
+	ix := core.NewIndex(7)
+	for p := int64(0); p < 49; p++ {
+		i, k := ix.Split(p)
+		coords := px.Split(p)
+		if coords[0] != i || coords[1] != k {
+			t.Fatalf("p=%d: power coords %v, pair (%d,%d)", p, coords, i, k)
+		}
+	}
+}
+
+func TestKronPowerMatchesIteratedProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	a := randomLoopFree(rng, 5)
+	c2, err := core.KronPower(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Product(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Equal(want) {
+		t.Fatal("KronPower(2) != A⊗A")
+	}
+	if _, err := core.KronPower(a, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	c1, err := core.KronPower(a, 1)
+	if err != nil || !c1.Equal(a) {
+		t.Error("KronPower(1) should be A itself")
+	}
+}
+
+func TestPowerLawsAgainstMaterializedCube(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	ga := randomConnectedLoopFree(rng, 5)
+	a := NewFactor(ga)
+	const k = 3
+	c, err := core.KronPower(ga, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PowerNumVertices(a, k) != c.NumVertices() {
+		t.Errorf("n law: %d != %d", PowerNumVertices(a, k), c.NumVertices())
+	}
+	if PowerNumEdges(a, k) != c.NumEdges() {
+		t.Errorf("m law: %d != %d", PowerNumEdges(a, k), c.NumEdges())
+	}
+	exact := analytics.Triangles(c)
+	if got := PowerGlobalTriangles(a, k); got != exact.Global {
+		t.Errorf("τ law: %d != %d", got, exact.Global)
+	}
+	px := core.NewPowerIndex(a.N(), k)
+	for p := int64(0); p < c.NumVertices(); p++ {
+		coords := px.Split(p)
+		if PowerDegreeAt(a, coords) != c.Degree(p) {
+			t.Fatalf("degree law fails at %d", p)
+		}
+		if PowerVertexTrianglesAt(a, coords) != exact.Vertex[p] {
+			t.Fatalf("triangle law fails at %d: %d != %d",
+				p, PowerVertexTrianglesAt(a, coords), exact.Vertex[p])
+		}
+	}
+}
+
+func TestPowerDistanceLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	ga := randomConnectedLoopFree(rng, 4).WithFullSelfLoops()
+	a := NewFactor(ga)
+	const k = 3
+	c, err := core.KronPower(ga, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactEcc := analytics.Eccentricities(c)
+	px := core.NewPowerIndex(a.N(), k)
+	for p := int64(0); p < c.NumVertices(); p++ {
+		if got := PowerEccentricityAt(a, px.Split(p)); got != exactEcc[p] {
+			t.Fatalf("ε law fails at %d: %d != %d", p, got, exactEcc[p])
+		}
+	}
+	if PowerDiameter(a) != analytics.Diameter(c) {
+		t.Errorf("diameter law: %d != %d", PowerDiameter(a), analytics.Diameter(c))
+	}
+	// Hop law spot checks.
+	rows := analytics.AllPairsHops(c)
+	for p := int64(0); p < c.NumVertices(); p += 5 {
+		for q := int64(0); q < c.NumVertices(); q += 7 {
+			if got := PowerHopsAt(a, px.Split(p), px.Split(q)); got != rows[p][q] {
+				t.Fatalf("hops law fails at (%d,%d): %d != %d", p, q, got, rows[p][q])
+			}
+		}
+	}
+}
+
+func TestPowerEccentricityHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	ga := randomConnectedLoopFree(rng, 5).WithFullSelfLoops()
+	a := NewFactor(ga)
+	for _, k := range []int{1, 2, 3} {
+		c, err := core.KronPower(ga, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int64]int64{}
+		for _, e := range analytics.Eccentricities(c) {
+			want[e]++
+		}
+		got := PowerEccentricityHistogram(a, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: histogram sizes %d != %d", k, len(got), len(want))
+		}
+		for v, cnt := range want {
+			if got[v] != cnt {
+				t.Fatalf("k=%d: hist[%d] = %d, want %d", k, v, got[v], cnt)
+			}
+		}
+	}
+}
+
+func TestPowerCoordsOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(317))
+	ga := randomLoopFree(rng, 6)
+	a := NewFactor(ga)
+	coords := PowerCoordsOf(a, 3, 0)
+	if len(coords) != 3 {
+		t.Fatalf("coords = %v", coords)
+	}
+}

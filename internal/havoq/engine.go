@@ -1,0 +1,140 @@
+package havoq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Msg is a visitor message addressed to a vertex; Kind and the payload
+// fields are interpreted by the algorithm's visit function.
+type Msg struct {
+	Target  int64
+	Kind    uint8
+	A, B, C int64
+}
+
+// mailbox is an unbounded MPSC queue with blocking pop, so the
+// asynchronous engine can never deadlock on full channels regardless of
+// message fan-out.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []Msg
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(msg Msg) {
+	m.mu.Lock()
+	m.q = append(m.q, msg)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// popAll blocks until at least one message is available (returning the
+// whole queued batch, which amortizes lock traffic) or the mailbox is
+// closed and drained; ok is false in the latter case.
+func (m *mailbox) popAll() ([]Msg, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	batch := m.q
+	m.q = nil
+	return batch, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Engine runs asynchronous visitor traversals over a DistGraph. Each rank
+// is a goroutine draining its mailbox; global termination is detected by
+// an in-flight message counter that sends increment before the producing
+// message's decrement, so the counter reaches zero exactly at quiescence
+// (the visitor-queue termination scheme of asynchronous graph frameworks
+// like HavoqGT).
+type Engine struct {
+	DG       *DistGraph
+	boxes    []*mailbox
+	inFlight int64
+	visited  int64 // messages processed, for instrumentation
+}
+
+// NewEngine returns an engine over dg.
+func NewEngine(dg *DistGraph) *Engine {
+	e := &Engine{DG: dg, boxes: make([]*mailbox, dg.R)}
+	for i := range e.boxes {
+		e.boxes[i] = newMailbox()
+	}
+	return e
+}
+
+// send routes a message to the owner of its target, counting it in
+// flight. Must only be called from inside a visit or with a prior
+// external increment (Run handles the seeds).
+func (e *Engine) send(m Msg) {
+	atomic.AddInt64(&e.inFlight, 1)
+	e.boxes[e.DG.Owner(m.Target)].push(m)
+}
+
+// Run seeds the traversal with the given messages and processes until
+// quiescence. visit is called on the owning rank for every delivered
+// message; it may emit further messages through its send argument.
+// visit runs concurrently across ranks but serially within a rank, so
+// per-rank (owned-vertex) state needs no locking.
+func (e *Engine) Run(seeds []Msg, visit func(rank int, m Msg, send func(Msg))) {
+	atomic.StoreInt64(&e.visited, 0)
+	if len(seeds) == 0 {
+		return
+	}
+	for i := range e.boxes {
+		e.boxes[i] = newMailbox()
+	}
+	atomic.AddInt64(&e.inFlight, int64(len(seeds)))
+	for _, m := range seeds {
+		e.boxes[e.DG.Owner(m.Target)].push(m)
+	}
+	var wg sync.WaitGroup
+	for rank := 0; rank < e.DG.R; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			box := e.boxes[rank]
+			for {
+				batch, ok := box.popAll()
+				if !ok {
+					return
+				}
+				for _, m := range batch {
+					visit(rank, m, e.send)
+				}
+				atomic.AddInt64(&e.visited, int64(len(batch)))
+				// Decrement after all child sends: the counter hits zero
+				// only at true quiescence, at which point the finisher
+				// closes every mailbox.
+				if atomic.AddInt64(&e.inFlight, -int64(len(batch))) == 0 {
+					for _, b := range e.boxes {
+						b.close()
+					}
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+}
+
+// Visited returns the number of messages processed by the last Run.
+func (e *Engine) Visited() int64 { return atomic.LoadInt64(&e.visited) }

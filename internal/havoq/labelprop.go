@@ -1,0 +1,68 @@
+package havoq
+
+import "sync/atomic"
+
+// LabelPropagation runs asynchronous distributed community detection by
+// label propagation on the visitor engine: every vertex starts in its own
+// community; on each visit a vertex adopts the most frequent label among
+// its neighbors (ties toward the smaller label, which guarantees
+// progress), re-notifying neighbors whenever its label changes, up to
+// maxUpdates label changes per vertex. Returns the final label vector.
+//
+// This supplies the "community membership" vertex feature from the
+// paper's introduction (ref [6] uses Grappolo; label propagation is the
+// standard asynchronous analogue and exercises the same engine paths as
+// the triangle and BFS visitors). Neighbor labels are read via atomics —
+// the shared-memory stand-in for the label-exchange messages a real
+// cluster would use; stale reads are part of the asynchronous algorithm's
+// contract.
+func (dg *DistGraph) LabelPropagation(maxUpdates int) []int64 {
+	labels := make([]int64, dg.N)
+	for v := range labels {
+		labels[v] = int64(v)
+	}
+	updates := make([][]int, dg.R)
+	for r := range updates {
+		updates[r] = make([]int, len(dg.rows[r]))
+	}
+	e := NewEngine(dg)
+	seeds := make([]Msg, 0, dg.N)
+	for v := int64(0); v < dg.N; v++ {
+		seeds = append(seeds, Msg{Target: v})
+	}
+	e.Run(seeds, func(rank int, m Msg, send func(Msg)) {
+		v := m.Target
+		li := dg.localIndex(v)
+		if updates[rank][li] >= maxUpdates {
+			return
+		}
+		row := dg.rows[rank][li]
+		if len(row) == 0 {
+			return
+		}
+		counts := make(map[int64]int, len(row))
+		for _, w := range row {
+			if w == v {
+				continue
+			}
+			counts[atomic.LoadInt64(&labels[w])]++
+		}
+		cur := atomic.LoadInt64(&labels[v])
+		best, bestC := cur, 0
+		for l, c := range counts {
+			if c > bestC || (c == bestC && l < best) {
+				best, bestC = l, c
+			}
+		}
+		if best != cur {
+			atomic.StoreInt64(&labels[v], best)
+			updates[rank][li]++
+			for _, w := range row {
+				if w != v {
+					send(Msg{Target: w})
+				}
+			}
+		}
+	})
+	return labels
+}

@@ -1,0 +1,93 @@
+package havoq
+
+// Distributed triangle counting by degree-ordered wedge checks, after the
+// approach of the paper's ref [23] (Pearce, HPEC'17): orient each edge
+// from lower to higher (degree, id) rank, enumerate wedges at their
+// minimum vertex, and ship each wedge to the owner of one endpoint to
+// test closure. Self loops never participate (Def. 5 strips the
+// diagonal). Message kinds:
+//
+//	kindSeed  — enumerate wedges at Target
+//	kindCheck — does edge (Target, A) exist? wedge apex is B
+//	kindInc   — credit one triangle to Target
+const (
+	kindSeed uint8 = iota
+	kindCheck
+	kindInc
+)
+
+// TriangleResult holds distributed triangle-count output.
+type TriangleResult struct {
+	Vertex   []int64 // t_v per vertex
+	Global   int64   // τ
+	Messages int64   // visitor messages processed, for cost reporting
+}
+
+// less reports whether u precedes v in the degree-then-id total order
+// used to orient edges.
+func (dg *DistGraph) less(u, v int64) bool {
+	du, dv := dg.Degree(u), dg.Degree(v)
+	if du != dv {
+		return du < dv
+	}
+	return u < v
+}
+
+// Triangles counts triangles with the asynchronous engine. Per-vertex
+// counts and the global count are exact for undirected graphs; ordering
+// uses locally readable degrees (a degree exchange in a real cluster,
+// a shared read in this simulation).
+func (dg *DistGraph) Triangles() *TriangleResult {
+	counts := make([][]int64, dg.R)
+	for r := range counts {
+		counts[r] = make([]int64, len(dg.rows[r]))
+	}
+	seeds := make([]Msg, 0, dg.N)
+	for v := int64(0); v < dg.N; v++ {
+		seeds = append(seeds, Msg{Target: v, Kind: kindSeed})
+	}
+	e := NewEngine(dg)
+	e.Run(seeds, func(rank int, m Msg, send func(Msg)) {
+		switch m.Kind {
+		case kindSeed:
+			u := m.Target
+			row := dg.rows[rank][dg.localIndex(u)]
+			// adj⁺(u): neighbors after u in the total order, loops dropped.
+			var higher []int64
+			for _, w := range row {
+				if w != u && dg.less(u, w) {
+					higher = append(higher, w)
+				}
+			}
+			for i := 0; i < len(higher); i++ {
+				for j := i + 1; j < len(higher); j++ {
+					v, w := higher[i], higher[j]
+					if dg.less(w, v) {
+						v, w = w, v
+					}
+					send(Msg{Target: v, Kind: kindCheck, A: w, B: u})
+				}
+			}
+		case kindCheck:
+			v, w, u := m.Target, m.A, m.B
+			row := dg.rows[rank][dg.localIndex(v)]
+			for _, x := range row {
+				if x == w {
+					counts[rank][dg.localIndex(v)]++
+					send(Msg{Target: u, Kind: kindInc})
+					send(Msg{Target: w, Kind: kindInc})
+					break
+				}
+			}
+		case kindInc:
+			counts[rank][dg.localIndex(m.Target)]++
+		}
+	})
+	res := &TriangleResult{Vertex: make([]int64, dg.N), Messages: e.Visited()}
+	for v := int64(0); v < dg.N; v++ {
+		res.Vertex[v] = counts[dg.Owner(v)][dg.localIndex(v)]
+		res.Global += res.Vertex[v]
+	}
+	res.Global /= 3
+	return res
+}

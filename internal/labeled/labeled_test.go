@@ -1,0 +1,199 @@
+package labeled
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kronlab/internal/graph"
+)
+
+// randomLabeled builds a random undirected labeled graph.
+func randomLabeled(rng *rand.Rand, maxN, k int64) *Graph {
+	n := 2 + rng.Int63n(maxN-1)
+	m := rng.Int63n(3 * n)
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		u, v := rng.Int63n(n), rng.Int63n(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g, err := graph.NewUndirected(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = rng.Int63n(k)
+	}
+	lg, err := New(g, labels, k)
+	if err != nil {
+		panic(err)
+	}
+	return lg
+}
+
+func TestNewValidation(t *testing.T) {
+	g, _ := graph.NewUndirected(3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := New(g, []int64{0, 1}, 2); err == nil {
+		t.Error("wrong label count should error")
+	}
+	if _, err := New(g, []int64{0, 1, 2}, 2); err == nil {
+		t.Error("out-of-range label should error")
+	}
+	if _, err := New(g, []int64{0, 1, 1}, 2); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+func TestPairLabelBijective(t *testing.T) {
+	seen := map[int64]bool{}
+	for x := int64(0); x < 3; x++ {
+		for u := int64(0); u < 4; u++ {
+			p := PairLabel(x, u, 4)
+			if p < 0 || p >= 12 || seen[p] {
+				t.Fatalf("PairLabel(%d,%d) = %d not a bijection", x, u, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestProductLabelsMatchCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomLabeled(rng, 6, 2)
+	b := randomLabeled(rng, 5, 3)
+	c, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nB := b.G.NumVertices()
+	for p := int64(0); p < c.G.NumVertices(); p++ {
+		i, k := p/nB, p%nB
+		want := PairLabel(a.Labels[i], b.Labels[k], b.K)
+		if c.Labels[p] != want {
+			t.Fatalf("label(%d) = %d, want %d", p, c.Labels[p], want)
+		}
+	}
+	if c.K != a.K*b.K {
+		t.Errorf("K_C = %d, want %d", c.K, a.K*b.K)
+	}
+}
+
+func TestLabelHistogramLaw(t *testing.T) {
+	// Product label histogram = outer product of factor histograms.
+	rng := rand.New(rand.NewSource(3))
+	a := randomLabeled(rng, 8, 3)
+	b := randomLabeled(rng, 7, 2)
+	c, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, hb, hc := a.LabelHistogram(), b.LabelHistogram(), c.LabelHistogram()
+	for x := int64(0); x < a.K; x++ {
+		for u := int64(0); u < b.K; u++ {
+			if hc[PairLabel(x, u, b.K)] != ha[x]*hb[u] {
+				t.Fatalf("label histogram law fails at (%d,%d)", x, u)
+			}
+		}
+	}
+}
+
+// The labeled arc-count Kronecker law against direct counting on the
+// materialized product.
+func TestKronArcCountsLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomLabeled(rng, 7, 2)
+		b := randomLabeled(rng, 6, 3)
+		c, err := Product(a, b)
+		if err != nil {
+			return false
+		}
+		pred := KronArcCounts(a, b)
+		got := c.ArcCounts()
+		for x := range got {
+			for y := range got[x] {
+				if got[x][y] != pred[x][y] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The ordered labeled triangle tensor law against direct enumeration.
+func TestKronOrderedTrianglesLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		a := randomLabeled(rng, 7, 2)
+		b := randomLabeled(rng, 6, 2)
+		c, err := Product(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := KronOrderedTriangles(a, b)
+		got := c.OrderedTriangles()
+		for x := range got {
+			for y := range got[x] {
+				for z := range got[x][y] {
+					if got[x][y][z] != pred[x][y][z] {
+						t.Fatalf("trial %d: tensor law fails at (%d,%d,%d): %d != %d",
+							trial, x, y, z, got[x][y][z], pred[x][y][z])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Tensor total = 6τ (every undirected triangle has 6 ordered walks).
+func TestOrderedTrianglesTotal(t *testing.T) {
+	// K4 with labels 0,0,1,1: τ = 4 → tensor total 24.
+	g, _ := graph.NewUndirected(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}})
+	lg, err := New(g, []int64{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tens := lg.OrderedTriangles()
+	var total int64
+	for _, m := range tens {
+		for _, row := range m {
+			for _, v := range row {
+				total += v
+			}
+		}
+	}
+	if total != 24 {
+		t.Errorf("tensor total = %d, want 6·4", total)
+	}
+	// Monochromatic (0,0,0) triangles: only {0,1,x} triangles need a
+	// third 0-labeled vertex — none exist, so T[0][0][0] = 0.
+	if tens[0][0][0] != 0 {
+		t.Errorf("T[0][0][0] = %d, want 0", tens[0][0][0])
+	}
+	// Mixed (0,0,1): triangles {0,1,2} and {0,1,3} traversed i→j→m with
+	// labels 0,0,1: ordered walks 0→1→2, 1→0→2, 0→1→3, 1→0→3 → 4.
+	if tens[0][0][1] != 4 {
+		t.Errorf("T[0][0][1] = %d, want 4", tens[0][0][1])
+	}
+}
+
+func TestOrderedTrianglesIgnoreLoops(t *testing.T) {
+	g, _ := graph.NewUndirected(3, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 0, V: 0}})
+	lg, err := New(g, []int64{0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lg.OrderedTriangles()[0][0][0]; got != 6 {
+		t.Errorf("loop-contaminated triangle count = %d, want 6", got)
+	}
+}

@@ -1,0 +1,295 @@
+// Package matrix provides small dense integer matrices and vectors used as
+// a brute-force oracle for the Kronecker and Hadamard algebra of the paper
+// (Prop. 1 and Prop. 2) and for validating ground-truth formulas on tiny
+// instances. It is not meant to scale; the product graphs themselves are
+// handled by internal/core and internal/graph.
+package matrix
+
+import (
+	"fmt"
+
+	"kronlab/internal/graph"
+)
+
+// Dense is a row-major dense int64 matrix. Entries of adjacency matrices
+// are 0/1 but powers and counts exceed 1, so int64 is used throughout.
+type Dense struct {
+	Rows, Cols int
+	data       []int64
+}
+
+// NewDense returns a zero Rows×Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, data: make([]int64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all have equal
+// length.
+func FromRows(rows [][]int64) *Dense {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	m := NewDense(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("matrix: ragged row %d: %d != %d", i, len(row), c))
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromGraph returns the adjacency matrix of g.
+func FromGraph(g *graph.Graph) *Dense {
+	n := int(g.NumVertices())
+	m := NewDense(n, n)
+	g.Arcs(func(u, v int64) bool {
+		m.Set(int(u), int(v), 1)
+		return true
+	})
+	return m
+}
+
+// ToGraph interprets a square 0/1 matrix as a graph (nonzero = arc).
+func (m *Dense) ToGraph() (*graph.Graph, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("matrix: ToGraph on %dx%d non-square", m.Rows, m.Cols)
+	}
+	var arcs []graph.Edge
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != 0 {
+				arcs = append(arcs, graph.Edge{U: int64(i), V: int64(j)})
+			}
+		}
+	}
+	return graph.New(int64(m.Rows), arcs)
+}
+
+// At returns entry (i, j).
+func (m *Dense) At(i, j int) int64 { return m.data[i*m.Cols+j] }
+
+// Set assigns entry (i, j).
+func (m *Dense) Set(i, j int, v int64) { m.data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Add returns m + b.
+func (m *Dense) Add(b *Dense) *Dense {
+	m.mustSameShape(b, "Add")
+	out := NewDense(m.Rows, m.Cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns m − b.
+func (m *Dense) Sub(b *Dense) *Dense {
+	m.mustSameShape(b, "Sub")
+	out := NewDense(m.Rows, m.Cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns a·m.
+func (m *Dense) Scale(a int64) *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	for i := range m.data {
+		out.data[i] = a * m.data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m·b.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Pow returns mᵖ for p ≥ 1 (square matrices only).
+func (m *Dense) Pow(p int) *Dense {
+	if m.Rows != m.Cols {
+		panic("matrix: Pow on non-square matrix")
+	}
+	if p < 1 {
+		panic("matrix: Pow exponent must be ≥ 1")
+	}
+	out := m.Clone()
+	for i := 1; i < p; i++ {
+		out = out.Mul(m)
+	}
+	return out
+}
+
+// Kron returns the Kronecker product m ⊗ b (Def. 1).
+func (m *Dense) Kron(b *Dense) *Dense {
+	out := NewDense(m.Rows*b.Rows, m.Cols*b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			a := m.At(i, j)
+			if a == 0 {
+				continue
+			}
+			for k := 0; k < b.Rows; k++ {
+				for l := 0; l < b.Cols; l++ {
+					out.Set(i*b.Rows+k, j*b.Cols+l, a*b.At(k, l))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Hadamard returns the entrywise product m ∘ b (Def. 2).
+func (m *Dense) Hadamard(b *Dense) *Dense {
+	m.mustSameShape(b, "Hadamard")
+	out := NewDense(m.Rows, m.Cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] * b.data[i]
+	}
+	return out
+}
+
+// Transpose returns mᵗ.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Diag returns diag(m) = (I ∘ m)·1, the diagonal as a vector (Def. 4).
+func (m *Dense) Diag() []int64 {
+	if m.Rows != m.Cols {
+		panic("matrix: Diag on non-square matrix")
+	}
+	d := make([]int64, m.Rows)
+	for i := range d {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// DiagMatrix returns D = I ∘ m, the matrix of m's diagonal entries.
+func (m *Dense) DiagMatrix() *Dense {
+	if m.Rows != m.Cols {
+		panic("matrix: DiagMatrix on non-square matrix")
+	}
+	out := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		out.Set(i, i, m.At(i, i))
+	}
+	return out
+}
+
+// Boolify returns the 0/1 pattern of m (nonzero → 1).
+func (m *Dense) Boolify() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	for i, v := range m.data {
+		if v != 0 {
+			out.data[i] = 1
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and b have identical shape and entries.
+func (m *Dense) Equal(b *Dense) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Dense) MulVec(x []int64) []int64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("matrix: MulVec length %d != cols %d", len(x), m.Cols))
+	}
+	out := make([]int64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s int64
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (m *Dense) mustSameShape(b *Dense, op string) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprint(m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Trace returns Σ m[i][i] for square matrices.
+func (m *Dense) Trace() int64 {
+	if m.Rows != m.Cols {
+		panic("matrix: Trace on non-square matrix")
+	}
+	var s int64
+	for i := 0; i < m.Rows; i++ {
+		s += m.At(i, i)
+	}
+	return s
+}

@@ -1,0 +1,382 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randMat builds a random small matrix with entries in [-3, 3].
+func randMat(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.Int63n(7)-3)
+		}
+	}
+	return m
+}
+
+// randAdj builds a random symmetric 0/1 adjacency matrix.
+func randAdj(rng *rand.Rand, n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				m.Set(i, j, 1)
+				m.Set(j, i, 1)
+			}
+		}
+	}
+	return m
+}
+
+func quickCfg() *quick.Config { return &quick.Config{MaxCount: 40} }
+
+func TestAtSetClone(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatal("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]int64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	m := FromRows([][]int64{{1, 2, 0}, {0, 1, 1}, {2, 0, 1}})
+	if !m.Mul(id).Equal(m) || !id.Mul(m).Equal(m) {
+		t.Error("identity law fails")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]int64{{1, 2}, {3, 4}})
+	b := FromRows([][]int64{{5, 6}, {7, 8}})
+	want := FromRows([][]int64{{19, 22}, {43, 50}})
+	if !a.Mul(b).Equal(want) {
+		t.Errorf("Mul = \n%v want \n%v", a.Mul(b), want)
+	}
+}
+
+func TestPow(t *testing.T) {
+	a := FromRows([][]int64{{0, 1}, {1, 0}})
+	if !a.Pow(1).Equal(a) {
+		t.Error("Pow(1) should be identity operation")
+	}
+	if !a.Pow(2).Equal(Identity(2)) {
+		t.Error("swap² = I")
+	}
+	if !a.Pow(3).Equal(a) {
+		t.Error("swap³ = swap")
+	}
+}
+
+func TestKronKnown(t *testing.T) {
+	// Worked example of Def. 1.
+	a := FromRows([][]int64{{1, 2}, {3, 0}})
+	b := FromRows([][]int64{{0, 1}, {1, 1}})
+	got := a.Kron(b)
+	want := FromRows([][]int64{
+		{0, 1, 0, 2},
+		{1, 1, 2, 2},
+		{0, 3, 0, 0},
+		{3, 3, 0, 0},
+	})
+	if !got.Equal(want) {
+		t.Errorf("Kron = \n%v want \n%v", got, want)
+	}
+}
+
+func TestKronIndexFormula(t *testing.T) {
+	// (A ⊗ B)[i·nB+k][j·nB+l] == A[i][j]·B[k][l] for random matrices.
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 3, 4)
+	b := randMat(rng, 2, 5)
+	k := a.Kron(b)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for p := 0; p < 2; p++ {
+				for q := 0; q < 5; q++ {
+					if k.At(i*2+p, j*5+q) != a.At(i, j)*b.At(p, q) {
+						t.Fatalf("index law fails at (%d,%d,%d,%d)", i, j, p, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Prop. 1(a): scalar multiplication distributes over ⊗.
+func TestPropKronScalar(t *testing.T) {
+	f := func(seed int64, a1, a2 int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m1, m2 := randMat(rng, 2, 3), randMat(rng, 3, 2)
+		s1, s2 := int64(a1%5), int64(a2%5)
+		lhs := m1.Kron(m2).Scale(s1 * s2)
+		rhs := m1.Scale(s1).Kron(m2.Scale(s2))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop. 1(b): distributivity of ⊗ over +, both sides.
+func TestPropKronDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1, a2 := randMat(rng, 2, 3), randMat(rng, 2, 3)
+		a3 := randMat(rng, 3, 2)
+		left := a1.Add(a2).Kron(a3).Equal(a1.Kron(a3).Add(a2.Kron(a3)))
+		right := a3.Kron(a1.Add(a2)).Equal(a3.Kron(a1).Add(a3.Kron(a2)))
+		return left && right
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop. 1(c): (A₁ ⊗ A₂)ᵗ = A₁ᵗ ⊗ A₂ᵗ.
+func TestPropKronTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randMat(rng, 2, 4), randMat(rng, 3, 2)
+		return a.Kron(b).Transpose().Equal(a.Transpose().Kron(b.Transpose()))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop. 1(d): (A₁⊗A₂)(A₃⊗A₄) = (A₁A₃)⊗(A₂A₄) — the mixed-product rule
+// every hop/triangle formula in the paper rests on.
+func TestPropKronMixedProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1 := randMat(rng, 2, 3)
+		a2 := randMat(rng, 4, 2)
+		a3 := randMat(rng, 3, 2)
+		a4 := randMat(rng, 2, 3)
+		lhs := a1.Kron(a2).Mul(a3.Kron(a4))
+		rhs := a1.Mul(a3).Kron(a2.Mul(a4))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop. 2(a): Hadamard commutativity.
+func TestPropHadamardCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randMat(rng, 3, 3), randMat(rng, 3, 3)
+		return a.Hadamard(b).Equal(b.Hadamard(a))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop. 2(c): Hadamard distributivity over +.
+func TestPropHadamardDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1, a2, a3 := randMat(rng, 3, 2), randMat(rng, 3, 2), randMat(rng, 3, 2)
+		return a1.Add(a2).Hadamard(a3).Equal(a1.Hadamard(a3).Add(a2.Hadamard(a3)))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop. 2(d): (A₁ ∘ A₂)ᵗ = A₁ᵗ ∘ A₂ᵗ.
+func TestPropHadamardTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randMat(rng, 2, 4), randMat(rng, 2, 4)
+		return a.Hadamard(b).Transpose().Equal(a.Transpose().Hadamard(b.Transpose()))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop. 2(e): (A₁⊗A₂) ∘ (A₃⊗A₄) = (A₁∘A₃) ⊗ (A₂∘A₄).
+func TestPropHadamardKronDistributivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1, a3 := randMat(rng, 2, 3), randMat(rng, 2, 3)
+		a2, a4 := randMat(rng, 3, 2), randMat(rng, 3, 2)
+		lhs := a1.Kron(a2).Hadamard(a3.Kron(a4))
+		rhs := a1.Hadamard(a3).Kron(a2.Hadamard(a4))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop. 2(f): diag(A₁ ⊗ A₂) = diag(A₁) ⊗ diag(A₂).
+func TestPropDiagKronDistributivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randMat(rng, 3, 3), randMat(rng, 2, 2)
+		return VecEqual(a.Kron(b).Diag(), VecKron(a.Diag(), b.Diag()))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiagMatrix(t *testing.T) {
+	m := FromRows([][]int64{{1, 2}, {3, 4}})
+	want := FromRows([][]int64{{1, 0}, {0, 4}})
+	if !m.DiagMatrix().Equal(want) {
+		t.Error("DiagMatrix wrong")
+	}
+	// D_A = I ∘ A (Def. 4).
+	if !m.DiagMatrix().Equal(Identity(2).Hadamard(m)) {
+		t.Error("DiagMatrix must equal I ∘ A")
+	}
+}
+
+func TestBoolify(t *testing.T) {
+	m := FromRows([][]int64{{0, 5}, {-2, 0}})
+	want := FromRows([][]int64{{0, 1}, {1, 0}})
+	if !m.Boolify().Equal(want) {
+		t.Error("Boolify wrong")
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		adj := randAdj(rng, 6)
+		g, err := adj.ToGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !FromGraph(g).Equal(adj) {
+			t.Fatalf("trial %d: graph↔matrix round trip", trial)
+		}
+	}
+}
+
+func TestToGraphNonSquare(t *testing.T) {
+	if _, err := NewDense(2, 3).ToGraph(); err == nil {
+		t.Error("expected error for non-square ToGraph")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]int64{{1, 2}, {3, 4}})
+	got := m.MulVec([]int64{1, 1})
+	if !VecEqual(got, []int64{3, 7}) {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewDense(2, 2).Add(NewDense(3, 3)) },
+		func() { NewDense(2, 2).Hadamard(NewDense(2, 3)) },
+		func() { NewDense(2, 3).Mul(NewDense(2, 3)) },
+		func() { NewDense(2, 3).Diag() },
+		func() { NewDense(2, 3).Pow(2) },
+		func() { NewDense(2, 2).MulVec([]int64{1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if !VecEqual(Ones(3), []int64{1, 1, 1}) {
+		t.Error("Ones wrong")
+	}
+	if !VecEqual(Unit(3, 1), []int64{0, 1, 0}) {
+		t.Error("Unit wrong")
+	}
+	if Dot([]int64{1, 2, 3}, []int64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if !VecEqual(VecKron([]int64{1, 2}, []int64{3, 4}), []int64{3, 4, 6, 8}) {
+		t.Error("VecKron wrong")
+	}
+	if !VecEqual(VecScale(2, []int64{1, 2}), []int64{2, 4}) {
+		t.Error("VecScale wrong")
+	}
+	if !VecEqual(VecAdd([]int64{1, 2}, []int64{3, 4}), []int64{4, 6}) {
+		t.Error("VecAdd wrong")
+	}
+	if VecSum([]int64{1, 2, 3}) != 6 {
+		t.Error("VecSum wrong")
+	}
+	if !VecEqual(Indicator(4, []int64{1, 3}), []int64{0, 1, 0, 1}) {
+		t.Error("Indicator wrong")
+	}
+}
+
+// Degree via matrix: d = A·1 matches graph degrees.
+func TestDegreeViaMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	adj := randAdj(rng, 8)
+	g, err := adj.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(adj.MulVec(Ones(8)), g.Degrees()) {
+		t.Error("A·1 must equal degree vector")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := FromRows([][]int64{{1, 2}, {3, 4}})
+	if m.Trace() != 5 {
+		t.Errorf("Trace = %d", m.Trace())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-square Trace should panic")
+		}
+	}()
+	NewDense(2, 3).Trace()
+}
+
+// Closed-walk trace law: tr((A⊗B)^k) = tr(A^k)·tr(B^k) — the spectral
+// exploitability the paper warns benchmark designers about.
+func TestTraceKroneckerLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		a, b := randAdj(rng, 5), randAdj(rng, 4)
+		for k := 1; k <= 4; k++ {
+			lhs := a.Kron(b).Pow(k).Trace()
+			rhs := a.Pow(k).Trace() * b.Pow(k).Trace()
+			if lhs != rhs {
+				t.Fatalf("trial %d k=%d: tr law %d != %d", trial, k, lhs, rhs)
+			}
+		}
+	}
+}

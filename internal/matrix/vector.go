@@ -1,0 +1,99 @@
+package matrix
+
+import "fmt"
+
+// Ones returns the all-ones vector 1 of length n (Def. 3).
+func Ones(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Unit returns the standard basis vector e_i of length n.
+func Unit(n, i int) []int64 {
+	v := make([]int64, n)
+	v[i] = 1
+	return v
+}
+
+// Dot returns xᵗ·y.
+func Dot(x, y []int64) int64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s int64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// VecKron returns the Kronecker product of vectors x ⊗ y:
+// (x⊗y)[i·len(y)+k] = x[i]·y[k].
+func VecKron(x, y []int64) []int64 {
+	out := make([]int64, len(x)*len(y))
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		base := i * len(y)
+		for k, yv := range y {
+			out[base+k] = xv * yv
+		}
+	}
+	return out
+}
+
+// VecScale returns a·x.
+func VecScale(a int64, x []int64) []int64 {
+	out := make([]int64, len(x))
+	for i, v := range x {
+		out[i] = a * v
+	}
+	return out
+}
+
+// VecAdd returns x + y.
+func VecAdd(x, y []int64) []int64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: VecAdd length mismatch %d vs %d", len(x), len(y)))
+	}
+	out := make([]int64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// VecEqual reports elementwise equality.
+func VecEqual(x, y []int64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VecSum returns Σ x[i].
+func VecSum(x []int64) int64 {
+	var s int64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Indicator returns 1_S ∈ {0,1}ⁿ with ones at the positions in S (Def. 13).
+func Indicator(n int, s []int64) []int64 {
+	v := make([]int64, n)
+	for _, i := range s {
+		v[i] = 1
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+// Package rejection implements the paper's probabilistic edge rejection
+// (Sec. IV-C, Def. 8): a deterministic hash hash(p,q) → [0,1] over
+// undirected edges defines a nested family of subgraphs
+// G_{C,ν} = { (p,q) ∈ G_C : hash(p,q) ≤ ν }. Thinning breaks the exact
+// Kronecker structure (smoothing the degree/triangle distributions and
+// making accidental exploitation unlikely) while keeping local triangle
+// ground truth checkable: a triangle survives in G_{C,ν} iff the max of
+// its three edge hashes is ≤ ν, so E[t_p] = ν³·t_p and E[Δ_pq] = ν²·Δ_pq.
+package rejection
+
+import (
+	"fmt"
+
+	"kronlab/internal/graph"
+)
+
+// splitmix64 is the SplitMix64 finalizer, a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hasher is a seeded edge-hash function mapping undirected edges to
+// [0, 1). It is symmetric: Hash(u,v) == Hash(v,u).
+type Hasher struct {
+	seed uint64
+}
+
+// NewHasher returns a Hasher with the given seed; distinct seeds give
+// independent hash families.
+func NewHasher(seed uint64) Hasher { return Hasher{seed: seed} }
+
+// Bits returns the raw 64-bit hash of the canonical edge {u, v}.
+func (h Hasher) Bits(u, v int64) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	x := splitmix64(uint64(u) ^ h.seed)
+	return splitmix64(x ^ splitmix64(uint64(v)+0x632be59bd9b4e019))
+}
+
+// Hash returns hash(u,v) ∈ [0, 1).
+func (h Hasher) Hash(u, v int64) float64 {
+	// 53 high bits → uniform double in [0,1).
+	return float64(h.Bits(u, v)>>11) / float64(1<<53)
+}
+
+// Keep reports whether edge (u,v) survives at level ν, i.e. whether
+// (u,v) ∈ G_{C,ν}.
+func (h Hasher) Keep(u, v int64, nu float64) bool {
+	return h.Hash(u, v) <= nu
+}
+
+// Thin returns the subgraph G_ν of g keeping exactly the arcs whose
+// canonical edge hash is ≤ ν. Both directions of an undirected edge share
+// one hash, so symmetry is preserved.
+func Thin(g *graph.Graph, h Hasher, nu float64) *graph.Graph {
+	return g.FilterArcs(func(u, v int64) bool { return h.Keep(u, v, nu) })
+}
+
+// Family jointly classifies every edge of g against a set of levels
+// (e.g. {1, .99, .95, .9}) in one pass, as the paper describes: the hash
+// value of each edge is computed once and the edge belongs to every
+// G_{C,ν} with hash ≤ ν. Returns one subgraph per level, in input order.
+func Family(g *graph.Graph, h Hasher, levels []float64) []*graph.Graph {
+	out := make([]*graph.Graph, len(levels))
+	for i, nu := range levels {
+		out[i] = Thin(g, h, nu)
+	}
+	return out
+}
+
+// TriangleSurvives reports whether the triangle (p1, p2, p3) of G_C
+// exists in G_{C,ν}: max of the three edge hashes ≤ ν.
+func TriangleSurvives(h Hasher, p1, p2, p3 int64, nu float64) bool {
+	m := h.Hash(p1, p2)
+	if x := h.Hash(p1, p3); x > m {
+		m = x
+	}
+	if x := h.Hash(p2, p3); x > m {
+		m = x
+	}
+	return m <= nu
+}
+
+// ExpectedVertexTriangles returns E[t_p in G_{C,ν}] = ν³ · t_p.
+func ExpectedVertexTriangles(tp int64, nu float64) float64 {
+	return nu * nu * nu * float64(tp)
+}
+
+// ExpectedEdgeTriangles returns E[Δ_pq in G_{C,ν} | (p,q) ∈ G_{C,ν}]
+// = ν² · Δ_pq.
+func ExpectedEdgeTriangles(dpq int64, nu float64) float64 {
+	return nu * nu * float64(dpq)
+}
+
+// LevelIndex classifies every arc of g against a descending level ladder
+// (e.g. {1, .99, .95, .9}): out[idx] is the number of levels the arc
+// belongs to — the joint-generation representation the paper describes
+// ("generate G_C, G_{C,.99}, … jointly by storing the hash values of
+// every edge"), but storing one small int per arc instead of a float.
+// An arc with out[idx] = t belongs to G_{C,levels[0]} … G_{C,levels[t−1]}.
+// Levels must be non-increasing.
+func LevelIndex(g *graph.Graph, h Hasher, levels []float64) ([]uint8, error) {
+	for i := 1; i < len(levels); i++ {
+		if levels[i] > levels[i-1] {
+			return nil, fmt.Errorf("rejection: levels must be non-increasing, got %v", levels)
+		}
+	}
+	if len(levels) > 255 {
+		return nil, fmt.Errorf("rejection: at most 255 levels, got %d", len(levels))
+	}
+	out := make([]uint8, g.NumArcs())
+	idx := int64(-1)
+	g.Arcs(func(u, v int64) bool {
+		idx++
+		x := h.Hash(u, v)
+		var t uint8
+		for _, nu := range levels {
+			if x <= nu {
+				t++
+			} else {
+				break
+			}
+		}
+		out[idx] = t
+		return true
+	})
+	return out, nil
+}

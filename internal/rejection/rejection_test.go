@@ -1,0 +1,266 @@
+package rejection
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+)
+
+func TestHashSymmetricAndDeterministic(t *testing.T) {
+	h := NewHasher(1)
+	f := func(u, v int64) bool {
+		if u < 0 {
+			u = -u
+		}
+		if v < 0 {
+			v = -v
+		}
+		return h.Hash(u, v) == h.Hash(v, u) && h.Hash(u, v) == h.Hash(u, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashRange(t *testing.T) {
+	h := NewHasher(7)
+	for u := int64(0); u < 100; u++ {
+		for v := u; v < u+20; v++ {
+			x := h.Hash(u, v)
+			if x < 0 || x >= 1 {
+				t.Fatalf("hash(%d,%d) = %v out of [0,1)", u, v, x)
+			}
+		}
+	}
+}
+
+func TestHashSeedIndependence(t *testing.T) {
+	h1, h2 := NewHasher(1), NewHasher(2)
+	same := 0
+	for u := int64(0); u < 50; u++ {
+		if h1.Bits(u, u+1) == h2.Bits(u, u+1) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/50 hashes identical across seeds", same)
+	}
+}
+
+func TestHashUniformity(t *testing.T) {
+	h := NewHasher(3)
+	var sum float64
+	n := 0
+	for u := int64(0); u < 200; u++ {
+		for v := u + 1; v < u+10; v++ {
+			sum += h.Hash(u, v)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("hash mean %v, want ≈0.5", mean)
+	}
+}
+
+func TestThinEdgeFraction(t *testing.T) {
+	g := gen.ER(120, 0.4, 5)
+	h := NewHasher(11)
+	for _, nu := range []float64{0.9, 0.5, 0.1} {
+		sub := Thin(g, h, nu)
+		frac := float64(sub.NumEdges()) / float64(g.NumEdges())
+		if math.Abs(frac-nu) > 0.08 {
+			t.Errorf("ν=%v: kept fraction %v", nu, frac)
+		}
+		if !sub.IsSymmetric() {
+			t.Errorf("ν=%v: thinned graph lost symmetry", nu)
+		}
+		if sub.NumVertices() != g.NumVertices() {
+			t.Errorf("ν=%v: vertex count changed", nu)
+		}
+	}
+}
+
+func TestThinBoundaries(t *testing.T) {
+	g := gen.ER(40, 0.5, 6)
+	h := NewHasher(13)
+	if !Thin(g, h, 1.0).Equal(g) {
+		t.Error("ν=1 must keep the whole graph")
+	}
+	if Thin(g, h, -0.1).NumEdges() != 0 {
+		t.Error("ν<0 must drop everything")
+	}
+}
+
+// Property (Def. 8): the family is nested — ν ≤ ν' ⇒ G_ν ⊆ G_ν'.
+func TestPropertyFamilyNested(t *testing.T) {
+	g := gen.ER(60, 0.3, 8)
+	h := NewHasher(17)
+	levels := []float64{1, 0.99, 0.95, 0.9, 0.5}
+	fam := Family(g, h, levels)
+	for i := 1; i < len(fam); i++ {
+		sub, sup := fam[i], fam[i-1]
+		sub.Arcs(func(u, v int64) bool {
+			if !sup.HasArc(u, v) {
+				t.Fatalf("G_%v has arc (%d,%d) missing from G_%v", levels[i], u, v, levels[i-1])
+			}
+			return true
+		})
+	}
+}
+
+func TestTriangleSurvivesIffAllEdgesSurvive(t *testing.T) {
+	g := gen.ER(40, 0.5, 21)
+	h := NewHasher(23)
+	nu := 0.8
+	sub := Thin(g, h, nu)
+	// Enumerate triangles of g; check survival rule matches membership.
+	n := g.NumVertices()
+	for u := int64(0); u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if w <= v || !g.HasArc(u, w) {
+					continue
+				}
+				inSub := sub.HasArc(u, v) && sub.HasArc(v, w) && sub.HasArc(u, w)
+				if TriangleSurvives(h, u, v, w, nu) != inSub {
+					t.Fatalf("survival rule mismatch for (%d,%d,%d)", u, v, w)
+				}
+			}
+		}
+	}
+}
+
+// The headline statistical claim of Def. 8: thinning a Kronecker product
+// leaves E[t_p] = ν³·t_p. Verified in aggregate: the global triangle count
+// of the thinned product should be ≈ ν³ · τ_C.
+func TestThinnedTriangleExpectation(t *testing.T) {
+	a := gen.ER(12, 0.5, 31)
+	c, err := core.Product(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauC := analytics.GlobalTriangles(c)
+	if tauC < 500 {
+		t.Fatalf("need a triangle-rich product for a stable average, got τ=%d", tauC)
+	}
+	nu := 0.9
+	want := nu * nu * nu * float64(tauC)
+	// Average over several independent hash seeds.
+	var got float64
+	const seeds = 5
+	for s := uint64(0); s < seeds; s++ {
+		sub := Thin(c, NewHasher(100+s), nu)
+		got += float64(analytics.GlobalTriangles(sub))
+	}
+	got /= seeds
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("thinned τ = %v, want ≈ %v (ν³·τ_C)", got, want)
+	}
+}
+
+// Per-edge expectation: for surviving edges, E[Δ] = ν²·Δ.
+func TestThinnedEdgeTriangleExpectation(t *testing.T) {
+	a := gen.ER(12, 0.5, 37)
+	c, err := core.Product(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := analytics.Triangles(c)
+	nu := 0.9
+	var sumExact, sumThinned float64
+	const seeds = 5
+	for s := uint64(0); s < seeds; s++ {
+		h := NewHasher(200 + s)
+		sub := Thin(c, h, nu)
+		subTri := analytics.Triangles(sub)
+		idx := int64(-1)
+		sub.Arcs(func(u, v int64) bool {
+			idx++
+			if u >= v {
+				return true
+			}
+			sumThinned += float64(subTri.Arc[idx])
+			origIdx := c.ArcIndex(u, v)
+			sumExact += ExpectedEdgeTriangles(exact.Arc[origIdx], nu)
+			return true
+		})
+	}
+	if sumExact == 0 {
+		t.Fatal("no surviving edges with triangles")
+	}
+	ratio := sumThinned / sumExact
+	if math.Abs(ratio-1) > 0.1 {
+		t.Errorf("aggregate thinned Δ ratio = %v, want ≈1", ratio)
+	}
+}
+
+func TestExpectedHelpers(t *testing.T) {
+	if ExpectedVertexTriangles(100, 0.5) != 12.5 {
+		t.Error("ν³ expectation wrong")
+	}
+	if ExpectedEdgeTriangles(100, 0.5) != 25 {
+		t.Error("ν² expectation wrong")
+	}
+}
+
+// Rejection smooths the degree distribution: the thinned product has more
+// distinct degrees than the exact Kronecker product (which only realizes
+// products d_i·d_k — no large primes, big holes).
+func TestRejectionSmoothsDegreeHoles(t *testing.T) {
+	a := gen.PrefAttach(40, 2, 41)
+	c, err := core.Product(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := analytics.NewHistogram(c.Degrees())
+	after := analytics.NewHistogram(Thin(c, NewHasher(43), 0.9).Degrees())
+	if len(after.Keys()) <= len(before.Keys()) {
+		t.Errorf("distinct degrees: before %d, after %d — expected smoothing",
+			len(before.Keys()), len(after.Keys()))
+	}
+}
+
+func TestLevelIndex(t *testing.T) {
+	g := gen.ER(40, 0.4, 99)
+	h := NewHasher(5)
+	levels := []float64{1, 0.9, 0.5, 0.1}
+	idx, err := LevelIndex(g, h, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := Family(g, h, levels)
+	// Membership via the level index must match Thin exactly.
+	pos := int64(-1)
+	g.Arcs(func(u, v int64) bool {
+		pos++
+		for li := range levels {
+			inFam := fam[li].HasArc(u, v)
+			inIdx := int(idx[pos]) > li
+			if inFam != inIdx {
+				t.Fatalf("arc (%d,%d) level %d: family %v, index %v", u, v, li, inFam, inIdx)
+			}
+		}
+		return true
+	})
+	// ν = 1 keeps everything → every arc has level ≥ 1.
+	for _, l := range idx {
+		if l < 1 {
+			t.Fatal("level 0 arc under ν=1 ladder")
+		}
+	}
+	// Validation.
+	if _, err := LevelIndex(g, h, []float64{0.5, 0.9}); err == nil {
+		t.Error("increasing ladder should error")
+	}
+	if _, err := LevelIndex(g, h, make([]float64, 300)); err == nil {
+		t.Error("too many levels should error")
+	}
+}

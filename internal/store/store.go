@@ -1,0 +1,319 @@
+// Package store provides a sharded on-disk edge store for product graphs
+// too large for memory — the storage side the paper's Sec. III leaves
+// open ("the processor responsible for generating an edge must then send
+// it to the processor responsible for its storage"). A store is a
+// directory with a small text manifest and S binary shard files of raw
+// little-endian (u, v) int64 pairs; edges are routed to shards by a
+// pluggable shard function, mirroring the owner maps of internal/dist.
+//
+// Layout:
+//
+//	dir/MANIFEST    "kronstore 1\nn <vertices>\nshards <S>\ncount <c0> <c1> …"
+//	dir/shard-0000  raw 16-byte edge records
+//	dir/…
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"kronlab/internal/graph"
+)
+
+// ShardFunc routes an edge to one of s shards.
+type ShardFunc func(u, v int64, s int) int
+
+// BySource hashes the source endpoint (matches dist.OwnerBySource).
+func BySource(u, _ int64, s int) int {
+	return int((uint64(u) * 0x9e3779b97f4a7c15) % uint64(s))
+}
+
+const manifestName = "MANIFEST"
+
+func shardName(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// Writer streams edges into a sharded store.
+type Writer struct {
+	dir    string
+	n      int64
+	files  []*os.File
+	bufs   []*bufio.Writer
+	counts []int64
+	shard  ShardFunc
+	closed bool
+}
+
+// NewWriter creates (or truncates) a store under dir for a graph on n
+// vertices with the given shard count. shard may be nil (BySource).
+func NewWriter(dir string, n int64, shards int, shard ShardFunc) (*Writer, error) {
+	if shards < 1 || shards > 9999 {
+		return nil, fmt.Errorf("store: shard count %d out of range [1,9999]", shards)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("store: negative vertex count %d", n)
+	}
+	if shard == nil {
+		shard = BySource
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	w := &Writer{dir: dir, n: n, shard: shard,
+		files:  make([]*os.File, shards),
+		bufs:   make([]*bufio.Writer, shards),
+		counts: make([]int64, shards)}
+	for i := range w.files {
+		f, err := os.Create(filepath.Join(dir, shardName(i)))
+		if err != nil {
+			w.abort()
+			return nil, fmt.Errorf("store: creating shard %d: %w", i, err)
+		}
+		w.files[i] = f
+		w.bufs[i] = bufio.NewWriterSize(f, 1<<16)
+	}
+	return w, nil
+}
+
+func (w *Writer) abort() {
+	for _, f := range w.files {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
+// Append routes one edge to its shard.
+func (w *Writer) Append(u, v int64) error {
+	if w.closed {
+		return fmt.Errorf("store: Append after Close")
+	}
+	if u < 0 || u >= w.n || v < 0 || v >= w.n {
+		return fmt.Errorf("store: edge (%d,%d) out of range [0,%d)", u, v, w.n)
+	}
+	s := w.shard(u, v, len(w.files))
+	var rec [16]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(u))
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(v))
+	if _, err := w.bufs[s].Write(rec[:]); err != nil {
+		return fmt.Errorf("store: writing shard %d: %w", s, err)
+	}
+	w.counts[s]++
+	return nil
+}
+
+// Close flushes shards and writes the manifest. The store is unreadable
+// until Close succeeds.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	for i, b := range w.bufs {
+		if err := b.Flush(); err != nil {
+			w.abort()
+			return fmt.Errorf("store: flushing shard %d: %w", i, err)
+		}
+		if err := w.files[i].Close(); err != nil {
+			return fmt.Errorf("store: closing shard %d: %w", i, err)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kronstore 1\nn %d\nshards %d\ncount", w.n, len(w.files))
+	for _, c := range w.counts {
+		fmt.Fprintf(&sb, " %d", c)
+	}
+	sb.WriteByte('\n')
+	return os.WriteFile(filepath.Join(w.dir, manifestName), []byte(sb.String()), 0o644)
+}
+
+// Store is a read handle on a closed store.
+type Store struct {
+	Dir    string
+	N      int64
+	Counts []int64
+}
+
+// Open validates the manifest and shard files of a store directory.
+func Open(dir string) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 4 || lines[0] != "kronstore 1" {
+		return nil, fmt.Errorf("store: bad manifest in %s", dir)
+	}
+	n, err := parseField(lines[1], "n")
+	if err != nil {
+		return nil, err
+	}
+	shards, err := parseField(lines[2], "shards")
+	if err != nil {
+		return nil, err
+	}
+	countFields := strings.Fields(lines[3])
+	if len(countFields) != int(shards)+1 || countFields[0] != "count" {
+		return nil, fmt.Errorf("store: malformed count line %q", lines[3])
+	}
+	st := &Store{Dir: dir, N: n, Counts: make([]int64, shards)}
+	for i := range st.Counts {
+		c, err := strconv.ParseInt(countFields[i+1], 10, 64)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("store: bad count %q", countFields[i+1])
+		}
+		st.Counts[i] = c
+		info, err := os.Stat(filepath.Join(dir, shardName(i)))
+		if err != nil {
+			return nil, fmt.Errorf("store: missing shard %d: %w", i, err)
+		}
+		if info.Size() != c*16 {
+			return nil, fmt.Errorf("store: shard %d has %d bytes, manifest says %d edges", i, info.Size(), c)
+		}
+	}
+	return st, nil
+}
+
+// TotalEdges returns the edge count across shards.
+func (st *Store) TotalEdges() int64 {
+	var t int64
+	for _, c := range st.Counts {
+		t += c
+	}
+	return t
+}
+
+// Shards returns the shard count.
+func (st *Store) Shards() int { return len(st.Counts) }
+
+// IterShard streams the edges of one shard through yield; yield returning
+// false stops early.
+func (st *Store) IterShard(i int, yield func(u, v int64) bool) error {
+	if i < 0 || i >= len(st.Counts) {
+		return fmt.Errorf("store: shard %d out of range", i)
+	}
+	f, err := os.Open(filepath.Join(st.Dir, shardName(i)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var rec [16]byte
+	for e := int64(0); e < st.Counts[i]; e++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return fmt.Errorf("store: shard %d edge %d: %w", i, e, err)
+		}
+		u := int64(binary.LittleEndian.Uint64(rec[0:8]))
+		v := int64(binary.LittleEndian.Uint64(rec[8:16]))
+		if !yield(u, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Iter streams every edge of every shard.
+func (st *Store) Iter(yield func(u, v int64) bool) error {
+	stop := false
+	for i := range st.Counts {
+		if err := st.IterShard(i, func(u, v int64) bool {
+			if !yield(u, v) {
+				stop = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LoadGraph materializes the whole store as a Graph (arcs as stored).
+func (st *Store) LoadGraph() (*graph.Graph, error) {
+	arcs := make([]graph.Edge, 0, st.TotalEdges())
+	if err := st.Iter(func(u, v int64) bool {
+		arcs = append(arcs, graph.Edge{U: u, V: v})
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return graph.New(st.N, arcs)
+}
+
+func parseField(line, name string) (int64, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != name {
+		return 0, fmt.Errorf("store: malformed manifest line %q", line)
+	}
+	v, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("store: bad %s value %q", name, fields[1])
+	}
+	return v, nil
+}
+
+// ShardWriter writes a single shard file — the per-rank half of a
+// distributed generation-to-disk pipeline, where each simulated rank owns
+// exactly one shard and no coordination is needed until the manifest.
+type ShardWriter struct {
+	f     *os.File
+	buf   *bufio.Writer
+	count int64
+}
+
+// NewShardWriter creates (or truncates) shard i under dir.
+func NewShardWriter(dir string, i int) (*ShardWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, shardName(i)))
+	if err != nil {
+		return nil, err
+	}
+	return &ShardWriter{f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Append writes one edge record.
+func (sw *ShardWriter) Append(u, v int64) error {
+	var rec [16]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(u))
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(v))
+	if _, err := sw.buf.Write(rec[:]); err != nil {
+		return err
+	}
+	sw.count++
+	return nil
+}
+
+// Count returns the records written so far.
+func (sw *ShardWriter) Count() int64 { return sw.count }
+
+// Close flushes and closes the shard file.
+func (sw *ShardWriter) Close() error {
+	if err := sw.buf.Flush(); err != nil {
+		sw.f.Close()
+		return err
+	}
+	return sw.f.Close()
+}
+
+// WriteManifest finalizes a store whose shards were written externally
+// (e.g. one per rank by NewShardWriter).
+func WriteManifest(dir string, n int64, counts []int64) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kronstore 1\nn %d\nshards %d\ncount", n, len(counts))
+	for _, c := range counts {
+		fmt.Fprintf(&sb, " %d", c)
+	}
+	sb.WriteByte('\n')
+	return os.WriteFile(filepath.Join(dir, manifestName), []byte(sb.String()), 0o644)
+}

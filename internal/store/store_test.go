@@ -1,0 +1,202 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/graph"
+)
+
+func writeAll(t *testing.T, dir string, g *graph.Graph, shards int, f ShardFunc) *Store {
+	t.Helper()
+	w, err := NewWriter(dir, g.NumVertices(), shards, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Arcs(func(u, v int64) bool {
+		if err := w.Append(u, v); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := gen.MustRMAT(gen.Graph500Params(5, 1))
+	for _, shards := range []int{1, 3, 8} {
+		dir := t.TempDir()
+		st := writeAll(t, dir, g, shards, nil)
+		if st.TotalEdges() != g.NumArcs() {
+			t.Fatalf("shards=%d: stored %d arcs, want %d", shards, st.TotalEdges(), g.NumArcs())
+		}
+		if st.Shards() != shards || st.N != g.NumVertices() {
+			t.Fatalf("shards=%d: manifest fields wrong: %+v", shards, st)
+		}
+		loaded, err := st.LoadGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !loaded.Equal(g) {
+			t.Fatalf("shards=%d: round trip lost structure", shards)
+		}
+	}
+}
+
+func TestShardRouting(t *testing.T) {
+	g := gen.ER(30, 0.4, 2)
+	dir := t.TempDir()
+	st := writeAll(t, dir, g, 4, BySource)
+	// Every edge in shard i must be routed there by BySource.
+	for i := 0; i < 4; i++ {
+		if err := st.IterShard(i, func(u, v int64) bool {
+			if BySource(u, v, 4) != i {
+				t.Fatalf("edge (%d,%d) misrouted to shard %d", u, v, i)
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIterEarlyStop(t *testing.T) {
+	g := gen.ER(20, 0.5, 3)
+	st := writeAll(t, t.TempDir(), g, 2, nil)
+	var seen int
+	if err := st.Iter(func(u, v int64) bool {
+		seen++
+		return seen < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Errorf("early stop saw %d", seen)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewWriter(dir, 10, 0, nil); err == nil {
+		t.Error("0 shards should error")
+	}
+	if _, err := NewWriter(dir, -1, 2, nil); err == nil {
+		t.Error("negative n should error")
+	}
+	w, err := NewWriter(dir, 5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, 0); err == nil {
+		t.Error("out-of-range edge should error")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, 1); err == nil {
+		t.Error("Append after Close should error")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double Close should be a no-op")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	g := gen.ER(15, 0.4, 5)
+	dir := t.TempDir()
+	writeAll(t, dir, g, 2, nil)
+
+	// Truncated shard.
+	shard0 := filepath.Join(dir, "shard-0000")
+	data, err := os.ReadFile(shard0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard0, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("truncated shard should fail Open")
+	}
+	if err := os.WriteFile(shard0, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt manifest variants.
+	man := filepath.Join(dir, manifestName)
+	for _, bad := range []string{
+		"wrongmagic 1\nn 15\nshards 2\ncount 1 1\n",
+		"kronstore 1\nn -3\nshards 2\ncount 1 1\n",
+		"kronstore 1\nn 15\nshards 2\ncount 1\n",
+		"kronstore 1\nn 15\n",
+	} {
+		if err := os.WriteFile(man, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir); err == nil {
+			t.Errorf("manifest %q should fail Open", strings.Split(bad, "\n")[0])
+		}
+	}
+
+	// Missing manifest entirely.
+	if err := os.Remove(man); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("missing manifest should fail Open")
+	}
+}
+
+func TestIterShardRange(t *testing.T) {
+	st := writeAll(t, t.TempDir(), gen.ER(10, 0.5, 7), 2, nil)
+	if err := st.IterShard(5, func(u, v int64) bool { return true }); err == nil {
+		t.Error("out-of-range shard should error")
+	}
+}
+
+// The intended use: stream a product straight to disk during generation,
+// reload, validate against ground truth.
+func TestStoreProductPipeline(t *testing.T) {
+	a := gen.PrefAttach(10, 2, 8)
+	b := gen.ER(8, 0.5, 9)
+	dir := t.TempDir()
+	w, err := NewWriter(dir, a.NumVertices()*b.NumVertices(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.StreamProduct(a, b, func(u, v int64) bool {
+		if err := w.Append(u, v); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := st.LoadGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Equal(want) {
+		t.Fatal("streamed store differs from in-memory product")
+	}
+}

@@ -1,0 +1,138 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/graph"
+)
+
+func TestRunPassesOnCorrectProduct(t *testing.T) {
+	a := gen.PrefAttach(12, 2, 1)
+	b := gen.ER(10, 0.4, 2)
+	c, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(a, b, c, Options{Samples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("correct product failed validation:\n%s", rep)
+	}
+	if len(rep.Checks) < 5 {
+		t.Errorf("expected ≥5 checks, got %d", len(rep.Checks))
+	}
+}
+
+func TestRunPassesWithSelfLoopsAndCommunities(t *testing.T) {
+	a, pa := gen.SBM(gen.SBMParams{BlockSizes: gen.EqualBlocks(2, 8), PIn: 0.6, POut: 0.1, Seed: 3})
+	c, err := core.ProductWithSelfLoops(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(a, a, c, Options{
+		SelfLoops: true, Samples: 16,
+		PartitionA: pa, PartitionB: pa,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("looped product failed validation:\n%s", rep)
+	}
+	found := false
+	for _, ch := range rep.Checks {
+		if strings.Contains(ch.Name, "communities") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("community check missing")
+	}
+}
+
+// The whole point: a single perturbed edge must trip the battery.
+func TestRunCatchesSingleEdgePerturbations(t *testing.T) {
+	a := gen.PrefAttach(10, 2, 5)
+	b := gen.ER(8, 0.5, 6)
+	c, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*graph.Graph{
+		"edge removed": c.FilterArcs(func(u, v int64) bool {
+			e := c.EdgeList()[3]
+			return !(u == e.U && v == e.V) && !(u == e.V && v == e.U)
+		}),
+		"edge added": mustAddEdge(t, c),
+	}
+	for name, bad := range cases {
+		rep, err := Run(a, b, bad, Options{Samples: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK() {
+			t.Errorf("%s: validation passed on a corrupted product:\n%s", name, rep)
+		}
+	}
+}
+
+func mustAddEdge(t *testing.T, c *graph.Graph) *graph.Graph {
+	t.Helper()
+	// Find a non-edge (u,v), u≠v, and add it.
+	n := c.NumVertices()
+	for u := int64(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !c.HasArc(u, v) {
+				arcs := append(c.ArcList(), graph.Edge{U: u, V: v}, graph.Edge{U: v, V: u})
+				g, err := graph.New(n, arcs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			}
+		}
+	}
+	t.Fatal("product is complete; cannot add an edge")
+	return nil
+}
+
+func TestRunCatchesWrongVertexCount(t *testing.T) {
+	a := gen.Ring(5)
+	b := gen.Ring(4)
+	wrong, _ := graph.New(7, nil)
+	rep, err := Run(a, b, wrong, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("wrong vertex count passed")
+	}
+	if len(rep.Failures()) == 0 {
+		t.Error("Failures() empty on failing report")
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	a := gen.Ring(4).WithFullSelfLoops()
+	if _, err := Run(a, a, a, Options{SelfLoops: true}); err == nil {
+		t.Error("looped input factors with SelfLoops mode should error")
+	}
+	bare := gen.Ring(4)
+	c, _ := core.Product(bare, bare)
+	if _, err := Run(bare, bare, c, Options{PartitionA: [][]int64{{0}}, PartitionB: [][]int64{{0}}}); err == nil {
+		t.Error("community checks without SelfLoops should error")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{Checks: []Check{{"x", "1", "2", false}, {"y", "1", "1", true}}}
+	s := rep.String()
+	if !strings.Contains(s, "FAIL") || !strings.Contains(s, "PASS") {
+		t.Errorf("report rendering: %q", s)
+	}
+}

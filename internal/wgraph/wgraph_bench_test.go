@@ -1,0 +1,37 @@
+package wgraph
+
+import (
+	"testing"
+
+	"kronlab/internal/gen"
+)
+
+func BenchmarkWeightedProduct(b *testing.B) {
+	ga := gen.MustRMAT(gen.Graph500Params(5, 1))
+	gb := gen.MustRMAT(gen.Graph500Params(5, 2))
+	a, err := FromUnweighted(ga)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb, err := FromUnweighted(gb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Product(a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriangleIntensity(b *testing.B) {
+	g, err := FromUnweighted(gen.PrefAttach(500, 3, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.TriangleIntensity()
+	}
+}

@@ -1,0 +1,202 @@
+package wgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+)
+
+func approx(x, y float64) bool { return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)) }
+
+func randWeighted(rng *rand.Rand, maxN int64, loops bool) *Graph {
+	n := 2 + rng.Int63n(maxN-1)
+	m := 1 + rng.Int63n(3*n)
+	edges := make([]WEdge, 0, m)
+	for i := int64(0); i < m; i++ {
+		u, v := rng.Int63n(n), rng.Int63n(n)
+		if !loops && u == v {
+			continue
+		}
+		edges = append(edges, WEdge{u, v, 0.25 + rng.Float64()})
+	}
+	g, err := NewUndirected(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNewMergesParallelArcs(t *testing.T) {
+	g, err := New(3, []WEdge{{0, 1, 2}, {0, 1, 3}, {0, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != 2 {
+		t.Fatalf("arcs = %d, want 2", g.NumArcs())
+	}
+	if g.Weight(0, 1) != 5 {
+		t.Errorf("merged weight = %v, want 5", g.Weight(0, 1))
+	}
+	if g.Weight(1, 0) != 0 {
+		t.Error("absent arc weight should be 0")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, nil); err == nil {
+		t.Error("negative n should error")
+	}
+	if _, err := New(2, []WEdge{{0, 2, 1}}); err == nil {
+		t.Error("out-of-range arc should error")
+	}
+}
+
+func TestOffsetsWithIsolatedVertices(t *testing.T) {
+	g, err := New(5, []WEdge{{0, 1, 1}, {3, 4, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arcs int
+	g.Arcs(func(u, v int64, w float64) bool {
+		arcs++
+		return true
+	})
+	if arcs != 2 {
+		t.Errorf("iterated %d arcs, want 2", arcs)
+	}
+	if g.Weight(3, 4) != 2 {
+		t.Error("gap fill broke row lookup")
+	}
+}
+
+func TestUndirectedSymmetryAndStrength(t *testing.T) {
+	g, err := NewUndirected(3, []WEdge{{0, 1, 2.5}, {1, 2, 1.5}, {2, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(0, 1) != g.Weight(1, 0) {
+		t.Error("symmetrization lost weight")
+	}
+	s := g.Strengths()
+	if !approx(s[1], 4) { // 2.5 + 1.5
+		t.Errorf("s(1) = %v, want 4", s[1])
+	}
+	if !approx(s[2], 5.5) { // 1.5 + loop 4
+		t.Errorf("s(2) = %v, want 5.5", s[2])
+	}
+}
+
+func TestPatternAndLift(t *testing.T) {
+	base := gen.ER(12, 0.4, 1)
+	lifted, err := FromUnweighted(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := lifted.Pattern()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(base) {
+		t.Fatal("lift/pattern round trip lost structure")
+	}
+	for _, s := range lifted.Strengths() {
+		if s != math.Trunc(s) {
+			t.Fatal("unit lift should have integer strengths")
+		}
+	}
+}
+
+// The weighted product law against brute-force dense multiplication.
+func TestProductWeightsMatchDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		a := randWeighted(rng, 6, true)
+		b := randWeighted(rng, 6, true)
+		c, err := Product(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := core.NewIndex(b.NumVertices())
+		bad := false
+		c.Arcs(func(p, q int64, w float64) bool {
+			i, k := ix.Split(p)
+			j, l := ix.Split(q)
+			if !approx(w, a.Weight(i, j)*b.Weight(k, l)) {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			t.Fatalf("trial %d: product weight law fails", trial)
+		}
+		if c.NumArcs() != a.NumArcs()*b.NumArcs() {
+			t.Fatalf("trial %d: arc count %d, want %d", trial, c.NumArcs(), a.NumArcs()*b.NumArcs())
+		}
+	}
+}
+
+// Strength law s_C = s_A ⊗ s_B.
+func TestStrengthLaw(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		rngB := rand.New(rand.NewSource(seedB))
+		a := randWeighted(rngA, 7, true)
+		b := randWeighted(rngB, 7, true)
+		c, err := Product(a, b)
+		if err != nil {
+			return false
+		}
+		want := StrengthsKron(a, b)
+		got := c.Strengths()
+		for i := range want {
+			if !approx(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Triangle intensity law for loop-free factors.
+func TestTriangleIntensityLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		a := randWeighted(rng, 7, false)
+		b := randWeighted(rng, 7, false)
+		c, err := Product(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := TriangleIntensityKron(a, b)
+		got := c.TriangleIntensity()
+		for i := range want {
+			if !approx(got[i], want[i]) {
+				t.Fatalf("trial %d: intensity law fails at %d: %v != %v",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Unit-weight intensity equals 2·t_v from the unweighted oracle.
+func TestIntensityReducesToTriangleCounts(t *testing.T) {
+	base := gen.Clique(5)
+	w, err := FromUnweighted(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range w.TriangleIntensity() {
+		// K5: t_v = C(4,2) = 6 → intensity 12.
+		if !approx(in, 12) {
+			t.Errorf("intensity(%d) = %v, want 12", v, in)
+		}
+	}
+}
