@@ -1,0 +1,35 @@
+# kronlab build / test / bench entry points. Everything is plain go tool
+# invocations; the Makefile just names the common ones.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+# Runs every Benchmark* suite with -benchmem and writes the go test -json
+# event stream to BENCH_<date>.json. BENCHTIME=10x make bench for a quick
+# pass.
+bench:
+	sh scripts/bench.sh
+
+clean:
+	$(GO) clean ./...

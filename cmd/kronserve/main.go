@@ -1,0 +1,56 @@
+// Command kronserve runs the kronlab ground-truth & generation HTTP
+// service: register factor graphs, query exact product analytics computed
+// from cached factor summaries (the paper's sublinear formulas), and
+// stream product edges from the distributed generator.
+//
+// Usage:
+//
+//	kronserve [flags]
+//
+//	-addr           listen address (default :8571)
+//	-max-inflight   concurrent heavy requests (default GOMAXPROCS)
+//	-max-queue      queued heavy requests before 429 (default 4×inflight)
+//	-cache-mb       factor summary cache budget in MiB (default 256)
+//	-timeout        per ground-truth request timeout (default 30s)
+//	-max-upload-mb  factor upload size cap in MiB (default 64)
+//	-max-ranks      cap on the ranks= generation parameter (default 64)
+//
+// See README.md §Serving for the endpoint reference and a curl
+// quickstart.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"kronlab/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8571", "listen address")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent heavy requests (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "queued heavy requests before 429 (0 = 4×inflight)")
+	cacheMB := flag.Int64("cache-mb", 256, "summary cache budget in MiB")
+	timeout := flag.Duration("timeout", 30*time.Second, "ground-truth request timeout")
+	uploadMB := flag.Int64("max-upload-mb", 64, "factor upload cap in MiB")
+	maxRanks := flag.Int("max-ranks", 64, "cap on the ranks= generation parameter")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		CacheBytes:     *cacheMB << 20,
+		RequestTimeout: *timeout,
+		MaxUploadBytes: *uploadMB << 20,
+		MaxRanks:       *maxRanks,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("kronserve listening on %s", *addr)
+	log.Fatal(hs.ListenAndServe())
+}

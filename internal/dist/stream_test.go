@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/graph"
+)
+
+func TestStreamMatchesProduct(t *testing.T) {
+	a := gen.PrefAttach(12, 2, 3)
+	b := gen.ER(9, 0.4, 4)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		r    int
+		twoD bool
+	}{
+		{"1d-1", 1, false}, {"1d-4", 4, false}, {"2d-4", 4, true}, {"2d-7", 7, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var arcs []graph.Edge
+			stats, err := Stream(context.Background(), a, b, tc.r, tc.twoD, 64,
+				func(batch []graph.Edge) error {
+					arcs = append(arcs, batch...)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := graph.New(want.NumVertices(), arcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatal("streamed arcs do not rebuild A ⊗ B")
+			}
+			if stats.EdgesGenerated != a.NumArcs()*b.NumArcs() {
+				t.Errorf("EdgesGenerated = %d, want %d", stats.EdgesGenerated, a.NumArcs()*b.NumArcs())
+			}
+			if stats.EdgesRouted != stats.EdgesGenerated || stats.BytesSent != 16*stats.EdgesGenerated {
+				t.Errorf("routing counters inconsistent: %+v", stats)
+			}
+		})
+	}
+}
+
+func TestStreamEmitErrorStops(t *testing.T) {
+	a := gen.ER(40, 0.3, 1)
+	b := gen.ER(40, 0.3, 2)
+	sentinel := errors.New("downstream full")
+	calls := 0
+	_, err := Stream(context.Background(), a, b, 4, false, 32, func([]graph.Edge) error {
+		calls++
+		if calls >= 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel error, got %v", err)
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	a := gen.ER(40, 0.3, 5)
+	b := gen.ER(40, 0.3, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	var got int64
+	_, err := Stream(ctx, a, b, 3, true, 16, func(batch []graph.Edge) error {
+		got += int64(len(batch))
+		if got > 100 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	total := a.NumArcs() * b.NumArcs()
+	if got >= total {
+		t.Errorf("cancellation did not stop the stream: saw %d of %d", got, total)
+	}
+}
+
+func TestStreamBadRanks(t *testing.T) {
+	a := gen.Ring(4)
+	if _, err := Stream(context.Background(), a, a, 0, false, 0, func([]graph.Edge) error { return nil }); err == nil {
+		t.Error("r=0 should error")
+	}
+}

@@ -1,0 +1,29 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// CanonicalHash returns a content address for the graph: the hex SHA-256
+// of its canonical serialization (vertex count followed by every stored
+// arc in CSR order, all little-endian int64). Because a Graph is built
+// sorted and deduplicated, two Graphs have equal hashes iff Equal reports
+// true — the property the kronserve factor registry relies on to make
+// registration idempotent.
+func (g *Graph) CanonicalHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	put(g.n)
+	g.Arcs(func(u, v int64) bool {
+		put(u)
+		put(v)
+		return true
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}

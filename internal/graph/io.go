@@ -107,18 +107,31 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
+// binaryHeaderSize is the byte length of the WriteBinary header
+// (magic, n, m) and binaryRecordSize that of one (u, v) edge record.
+const (
+	binaryHeaderSize = 24
+	binaryRecordSize = 16
+)
+
 // ReadBinary reads the format produced by WriteBinary and returns the
-// undirected graph.
+// undirected graph. Malformed input fails with a wrapped error naming the
+// byte offset of the offending header field or edge record; truncation
+// anywhere — including a clean EOF where more records were promised —
+// surfaces as io.ErrUnexpectedEOF so callers can distinguish a cut-off
+// file from other corruption with errors.Is.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
+	hdrFields := [3]string{"magic", "n", "m"}
 	var magic, n, m uint64
-	for _, p := range []*uint64{&magic, &n, &m} {
+	for i, p := range []*uint64{&magic, &n, &m} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("graph: binary header: %w", err)
+			return nil, fmt.Errorf("graph: binary header field %q at offset %d: %w",
+				hdrFields[i], i*8, noEOF(err))
 		}
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+		return nil, fmt.Errorf("graph: bad magic %#x at offset 0", magic)
 	}
 	if int64(n) < 0 || int64(n) > maxBinaryCount || int64(m) < 0 || int64(m) > maxBinaryCount {
 		return nil, fmt.Errorf("graph: implausible binary header n=%d m=%d", n, m)
@@ -129,11 +142,26 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	for i := uint64(0); i < m; i++ {
 		var pair [2]int64
 		if err := binary.Read(br, binary.LittleEndian, &pair); err != nil {
-			return nil, fmt.Errorf("graph: binary edge %d: %w", i, err)
+			return nil, fmt.Errorf("graph: binary edge %d of %d at offset %d: %w",
+				i, m, binaryHeaderSize+i*binaryRecordSize, noEOF(err))
 		}
 		edges = append(edges, Edge{pair[0], pair[1]})
 	}
-	return NewUndirected(int64(n), edges)
+	g, err := NewUndirected(int64(n), edges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: binary edge list invalid: %w", err)
+	}
+	return g, nil
+}
+
+// noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside ReadBinary
+// every read is for bytes the header promised, so running out of input at
+// a field or record boundary is truncation, not a normal end of stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // LoadUndirected reads a text edge list from path and returns the

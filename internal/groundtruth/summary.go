@@ -1,0 +1,55 @@
+package groundtruth
+
+import "kronlab/internal/graph"
+
+// Summary is an immutable, cacheable bundle of per-factor statistics — the
+// unit kronserve's analytics cache stores and deduplicates. It wraps a
+// fully built Factor: unlike a bare Factor, whose EnsureDistances mutates
+// it on first use, a Summary is completed at construction time (including
+// distance data when requested) and must never be written afterwards, so
+// it is safe to share across concurrent readers without locking.
+type Summary struct {
+	F *Factor
+
+	// Hash is the canonical hash of the graph the summary was requested
+	// for (before any +I transform), i.e. the registry key.
+	Hash string
+
+	// Loops records that the Factor was built on g.WithFullSelfLoops()
+	// rather than g itself — the variant the paper's distance formulas
+	// (Thm. 3–5, Cor. 3–5) require.
+	Loops bool
+
+	// Distances records that F's hop matrix, eccentricities and diameter
+	// were populated.
+	Distances bool
+}
+
+// NewSummary builds the summary of g at the requested tier. With loops
+// set, statistics are computed on g + I (full self loops); with distances
+// set, the O(n·(n+arcs)) all-pairs hop data is included.
+func NewSummary(g *graph.Graph, hash string, loops, distances bool) *Summary {
+	if loops {
+		g = g.WithFullSelfLoops()
+	}
+	f := NewFactor(g)
+	if distances {
+		f.EnsureDistances()
+	}
+	return &Summary{F: f, Hash: hash, Loops: loops, Distances: distances}
+}
+
+// CostBytes estimates the resident size of the summary: the CSR graph,
+// degree and triangle vectors, and — when present — the n×n hop matrix
+// that dominates the distance tier. kronserve's LRU budgets on this.
+func (s *Summary) CostBytes() int64 {
+	n := s.F.G.NumVertices()
+	arcs := s.F.G.NumArcs()
+	cost := (n+1)*8 + arcs*8 // CSR offsets + adjacency
+	cost += n * 8            // Deg
+	cost += n*8 + arcs*8 + 8 // Tri.Vertex, Tri.Arc, Tri.Global
+	if s.Distances {
+		cost += n*n*8 + n*8 + 8 // Hops, Ecc, Diam
+	}
+	return cost
+}

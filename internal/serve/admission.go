@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrBusy is returned by Limiter.Acquire when the queue is at capacity;
+// the HTTP layer maps it to 429 Too Many Requests.
+var ErrBusy = errors.New("serve: admission queue full")
+
+// Limiter is the semaphore-based admission controller for heavy requests
+// (ground-truth queries and generation streams): at most maxInflight
+// requests execute concurrently, at most maxQueue more wait for a slot,
+// and anything beyond that is rejected immediately with ErrBusy — bounded
+// latency instead of an unbounded queue.
+type Limiter struct {
+	slots chan struct{} // capacity maxInflight: held while executing
+	queue chan struct{} // capacity maxInflight+maxQueue: held while waiting or executing
+}
+
+// NewLimiter returns a limiter admitting maxInflight concurrent requests
+// with maxQueue waiters. Both arguments are clamped to ≥ 1 and ≥ 0.
+func NewLimiter(maxInflight, maxQueue int) *Limiter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		slots: make(chan struct{}, maxInflight),
+		queue: make(chan struct{}, maxInflight+maxQueue),
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns ErrBusy without blocking when the queue is
+// full, or ctx.Err() if the context ends while waiting. On success the
+// caller must Release exactly once.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return ErrBusy
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-l.queue
+		return ctx.Err()
+	}
+}
+
+// Release returns the slot claimed by a successful Acquire.
+func (l *Limiter) Release() {
+	<-l.slots
+	<-l.queue
+}
+
+// Inflight returns the number of requests currently executing.
+func (l *Limiter) Inflight() int { return len(l.slots) }
+
+// Waiting returns the number of requests queued for a slot.
+func (l *Limiter) Waiting() int { return len(l.queue) - len(l.slots) }

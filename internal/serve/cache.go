@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+
+	"sync"
+
+	"kronlab/internal/groundtruth"
+)
+
+// SummaryKey identifies one cacheable factor summary: the factor's
+// registry hash, whether the +I (full self loops) variant is wanted, and
+// whether the distance tier (hop matrix, eccentricities, diameter) is
+// included. Distinct keys are distinct immutable cache entries, so a
+// summary is never mutated after it is published.
+type SummaryKey struct {
+	Hash      string
+	Loops     bool
+	Distances bool
+}
+
+func (k SummaryKey) String() string {
+	return fmt.Sprintf("%.12s/loops=%v/dist=%v", k.Hash, k.Loops, k.Distances)
+}
+
+// call is an in-flight summary build shared by all requests that asked
+// for the same key while it was computing (singleflight).
+type call struct {
+	done chan struct{}
+	s    *groundtruth.Summary
+	err  error
+}
+
+// SummaryCache is a size-bounded LRU of factor summaries with
+// singleflight deduplication: N concurrent requests for the same key cost
+// exactly one build. The byte budget is accounted with
+// groundtruth.Summary.CostBytes; the distance tier of a factor is a
+// separate (larger) entry from its basic tier, so cheap degree/triangle
+// queries never pay for hop matrices they don't need.
+type SummaryCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recent; values are *cacheEntry
+	items    map[SummaryKey]*list.Element
+	inflight map[SummaryKey]*call
+	metrics  *Metrics
+}
+
+type cacheEntry struct {
+	key  SummaryKey
+	s    *groundtruth.Summary
+	cost int64
+}
+
+// NewSummaryCache returns a cache with the given byte budget. A budget
+// ≤ 0 still caches the single most recent entry (the cache also serves as
+// the synchronization point for builds, so it is never fully disabled).
+func NewSummaryCache(maxBytes int64, m *Metrics) *SummaryCache {
+	return &SummaryCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[SummaryKey]*list.Element),
+		inflight: make(map[SummaryKey]*call),
+		metrics:  m,
+	}
+}
+
+// Get returns the summary for key, building it with build at most once no
+// matter how many goroutines ask concurrently. Waiters abandon the wait
+// (but not the build) when ctx is done.
+func (c *SummaryCache) Get(ctx context.Context, key SummaryKey, build func() (*groundtruth.Summary, error)) (*groundtruth.Summary, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		s := el.Value.(*cacheEntry).s
+		c.mu.Unlock()
+		c.metrics.CacheHits.Add(1)
+		return s, nil
+	}
+	c.metrics.CacheMisses.Add(1)
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.s, cl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	c.metrics.SummaryBuilds.Add(1)
+	cl.s, cl.err = build()
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil {
+		c.insertLocked(key, cl.s)
+	}
+	c.mu.Unlock()
+	return cl.s, cl.err
+}
+
+// insertLocked adds a freshly built entry and evicts from the cold end
+// until the budget holds. The newest entry itself is never evicted even
+// when it alone exceeds the budget — serving beats strict accounting.
+func (c *SummaryCache) insertLocked(key SummaryKey, s *groundtruth.Summary) {
+	cost := s.CostBytes()
+	c.curBytes += cost
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, s: s, cost: cost})
+	for c.curBytes > c.maxBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.curBytes -= e.cost
+		c.metrics.CacheEvictions.Add(1)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *SummaryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the accounted resident size.
+func (c *SummaryCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}

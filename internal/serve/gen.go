@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"kronlab/internal/dist"
+	"kronlab/internal/graph"
+	"kronlab/internal/store"
+)
+
+// errStreamLimit signals that the client-requested edge cap was reached;
+// it truncates the stream without being an error to report.
+var errStreamLimit = errors.New("serve: stream limit reached")
+
+// handleGenerate serves GET /gen/{a}/{b}/edges: the product's arcs,
+// produced by the dist generator on bounded concurrency and streamed
+// without ever materializing the product server-side.
+//
+// Query parameters: loops=1 generates (A+I)⊗(B+I); layout=1d|2d picks the
+// partitioning (default 1d); ranks=N the expander count (default
+// GOMAXPROCS-bounded by Config.MaxRanks); format=ndjson|binary the wire
+// format (default ndjson; binary is the 16-byte record format of
+// internal/store); limit=N truncates the stream after N arcs.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	ga, hashA, ok := s.resolveFactor(w, r.PathValue("a"))
+	if !ok {
+		return
+	}
+	gb, hashB, ok := s.resolveFactor(w, r.PathValue("b"))
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("loops") == "1" {
+		ga, gb = ga.WithFullSelfLoops(), gb.WithFullSelfLoops()
+	}
+
+	twoD := false
+	switch q.Get("layout") {
+	case "", "1d":
+	case "2d":
+		twoD = true
+	default:
+		writeError(w, http.StatusBadRequest, "layout must be 1d or 2d")
+		return
+	}
+
+	ranks := s.cfg.MaxInflight
+	if raw := q.Get("ranks"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad ranks=%q", raw)
+			return
+		}
+		ranks = v
+	}
+	if ranks > s.cfg.MaxRanks {
+		ranks = s.cfg.MaxRanks
+	}
+
+	var limit int64 = -1
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit=%q", raw)
+			return
+		}
+		limit = v
+	}
+
+	binaryFmt := false
+	switch q.Get("format") {
+	case "", "ndjson":
+	case "binary":
+		binaryFmt = true
+	default:
+		writeError(w, http.StatusBadRequest, "format must be ndjson or binary")
+		return
+	}
+
+	totalArcs := ga.NumArcs() * gb.NumArcs()
+	if binaryFmt {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Kronlab-Product-N", strconv.FormatInt(ga.NumVertices()*gb.NumVertices(), 10))
+	w.Header().Set("X-Kronlab-Product-Arcs", strconv.FormatInt(totalArcs, 10))
+	w.Header().Set("X-Kronlab-Factors", fmt.Sprintf("%s,%s", hashA, hashB))
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	var rec [store.RecordSize]byte
+	emit := func(batch []graph.Edge) error {
+		for _, e := range batch {
+			if limit >= 0 && written >= limit {
+				return errStreamLimit
+			}
+			var err error
+			if binaryFmt {
+				store.PutRecord(rec[:], e.U, e.V)
+				_, err = bw.Write(rec[:])
+			} else {
+				_, err = fmt.Fprintf(bw, "{\"u\":%d,\"v\":%d}\n", e.U, e.V)
+			}
+			if err != nil {
+				return err // client went away; Stream tears down the expanders
+			}
+			written++
+		}
+		return nil
+	}
+
+	stats, err := dist.Stream(r.Context(), ga, gb, ranks, twoD, 0, emit)
+	s.metrics.AddGenStats(stats)
+	if err != nil && !errors.Is(err, errStreamLimit) {
+		// Headers are gone; the most we can do is cut the stream short so
+		// the client's record/line framing detects truncation.
+		return
+	}
+	_ = bw.Flush()
+}

@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"kronlab/internal/analytics"
+	"kronlab/internal/core"
+	"kronlab/internal/graph"
+	"kronlab/internal/groundtruth"
+)
+
+// gtRequest carries the resolved inputs of one ground-truth query: both
+// factor summaries at the tier the property needs, plus the product
+// indexing. All formula evaluation below is O(1)–O(diam) against the
+// cached summaries — the paper's sublinear serving claim.
+type gtRequest struct {
+	a, b  *groundtruth.Summary
+	hashA string
+	hashB string
+	loops bool // query the (A+I) ⊗ (B+I) product
+	ix    core.Index
+	nC    int64
+}
+
+// summaries resolves both factors through the cache at the requested
+// tier. loopVariant selects the +I graphs (distance formulas); distances
+// selects the hop-data tier.
+func (s *Server) summaries(r *http.Request, ga, gb *graph.Graph, hashA, hashB string, loopVariant, distances bool) (*groundtruth.Summary, *groundtruth.Summary, error) {
+	sa, err := s.cache.Get(r.Context(), SummaryKey{Hash: hashA, Loops: loopVariant, Distances: distances},
+		func() (*groundtruth.Summary, error) {
+			return groundtruth.NewSummary(ga, hashA, loopVariant, distances), nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	sb, err := s.cache.Get(r.Context(), SummaryKey{Hash: hashB, Loops: loopVariant, Distances: distances},
+		func() (*groundtruth.Summary, error) {
+			return groundtruth.NewSummary(gb, hashB, loopVariant, distances), nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sa, sb, nil
+}
+
+// handleGroundTruth serves GET /gt/{a}/{b}/{property}. Common query
+// parameters: loops=1 queries the full-self-loop product
+// C = (A+I) ⊗ (B+I) instead of C = A ⊗ B; p (and q) address product
+// vertices (edges); sa/sb give factor community vertex lists.
+func (s *Server) handleGroundTruth(w http.ResponseWriter, r *http.Request) {
+	ga, hashA, ok := s.resolveFactor(w, r.PathValue("a"))
+	if !ok {
+		return
+	}
+	gb, hashB, ok := s.resolveFactor(w, r.PathValue("b"))
+	if !ok {
+		return
+	}
+	loops := r.URL.Query().Get("loops") == "1"
+	prop := r.PathValue("property")
+
+	// Which summary variant/tier does the property need?
+	distProp := prop == "diameter" || prop == "eccentricity" || prop == "closeness" || prop == "hops"
+	loopVariant := loops && distProp // distance formulas run on the +I factors
+	if distProp && !loops {
+		// Thm. 3–5 hypotheses: without loops=1 the registered factors
+		// themselves must carry full self loops.
+		if ga.NumSelfLoops() != ga.NumVertices() || gb.NumSelfLoops() != gb.NumVertices() {
+			writeError(w, http.StatusBadRequest,
+				"distance ground truth requires full-self-loop factors; pass loops=1 to query (A+I)⊗(B+I)")
+			return
+		}
+	}
+	if loops && !distProp {
+		// Cor. 1/2, Thm. 6 and the degree formula assume the +I loops are
+		// supplied by the construction, not already present.
+		if ga.NumSelfLoops() != 0 || gb.NumSelfLoops() != 0 {
+			writeError(w, http.StatusBadRequest,
+				"loops=1 ground truth requires loop-free registered factors (the construction adds the loops)")
+			return
+		}
+	}
+
+	sa, sb, err := s.summaries(r, ga, gb, hashA, hashB, loopVariant, distProp)
+	if err != nil {
+		writeError(w, statusForContextErr(err), "resolving factor summaries: %v", err)
+		return
+	}
+	req := &gtRequest{
+		a: sa, b: sb, hashA: hashA, hashB: hashB, loops: loops,
+		ix: core.NewIndex(sb.F.N()), nC: sa.F.N() * sb.F.N(),
+	}
+
+	switch prop {
+	case "degree":
+		s.gtDegree(w, r, req)
+	case "triangles":
+		s.gtTriangles(w, r, req)
+	case "clustering":
+		s.gtClustering(w, r, req)
+	case "diameter":
+		writeJSON(w, http.StatusOK, req.base(map[string]any{
+			"diameter": hopValue(groundtruth.Diameter(req.a.F, req.b.F)),
+		}))
+	case "eccentricity":
+		s.gtEccentricity(w, r, req)
+	case "closeness":
+		s.gtCloseness(w, r, req)
+	case "hops":
+		s.gtHops(w, r, req)
+	case "community":
+		s.gtCommunity(w, r, req)
+	case "summary":
+		s.gtSummary(w, r, req)
+	default:
+		writeError(w, http.StatusNotFound,
+			"unknown property %q (have degree, triangles, clustering, diameter, eccentricity, closeness, hops, community, summary)", prop)
+	}
+}
+
+// base stamps the product identification onto a response body.
+func (req *gtRequest) base(extra map[string]any) map[string]any {
+	extra["a"] = req.hashA
+	extra["b"] = req.hashB
+	extra["loops"] = req.loops
+	return extra
+}
+
+// vertexParam parses and range-checks a product vertex id parameter.
+func (req *gtRequest) vertexParam(r *http.Request, name string) (int64, bool, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, false, nil
+	}
+	p, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad %s=%q: %v", name, raw, err)
+	}
+	if p < 0 || p >= req.nC {
+		return 0, false, fmt.Errorf("%s=%d out of range [0,%d)", name, p, req.nC)
+	}
+	return p, true, nil
+}
+
+// hopValue maps analytics.Unreachable to a JSON null.
+func hopValue(h int64) any {
+	if h == analytics.Unreachable {
+		return nil
+	}
+	return h
+}
+
+// floatValue maps NaN (undefined clustering) to a JSON null.
+func floatValue(f float64) any {
+	if math.IsNaN(f) {
+		return nil
+	}
+	return f
+}
+
+// hasProductArc reports whether (p,q) is an arc of the queried product.
+func (req *gtRequest) hasProductArc(p, q int64) bool {
+	i, k := req.ix.Split(p)
+	j, l := req.ix.Split(q)
+	inA := req.a.F.G.HasArc(i, j) || (req.loops && i == j)
+	inB := req.b.F.G.HasArc(k, l) || (req.loops && k == l)
+	return inA && inB
+}
+
+func (s *Server) gtDegree(w http.ResponseWriter, r *http.Request, req *gtRequest) {
+	p, ok, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusBadRequest, "degree needs p=<product vertex>")
+		return
+	}
+	i, k := req.ix.Split(p)
+	var d int64
+	if req.loops {
+		d = (req.a.F.Deg[i] + 1) * (req.b.F.Deg[k] + 1) // d_p of (A+I)⊗(B+I)
+	} else {
+		d = req.a.F.Deg[i] * req.b.F.Deg[k] // d_C = d_A ⊗ d_B
+	}
+	writeJSON(w, http.StatusOK, req.base(map[string]any{"p": p, "i": i, "k": k, "degree": d}))
+}
+
+func (s *Server) gtTriangles(w http.ResponseWriter, r *http.Request, req *gtRequest) {
+	// Triangle formulas (plain and Cor. 1/2) assume loop-free factors.
+	if req.a.F.G.NumSelfLoops() != 0 || req.b.F.G.NumSelfLoops() != 0 {
+		writeError(w, http.StatusBadRequest, "triangle ground truth requires loop-free factors")
+		return
+	}
+	p, hasP, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, hasQ, err := req.vertexParam(r, "q")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch {
+	case hasP && hasQ: // edge count Δ_pq
+		if p == q || !req.hasProductArc(p, q) {
+			writeError(w, http.StatusBadRequest, "(%d,%d) is not a non-loop edge of the product", p, q)
+			return
+		}
+		var tri int64
+		if req.loops {
+			tri = groundtruth.EdgeTrianglesFullLoopsAt(req.a.F, req.b.F, p, q) // Cor. 2
+		} else {
+			tri = groundtruth.EdgeTrianglesAt(req.a.F, req.b.F, p, q) // Δ_C = Δ_A ⊗ Δ_B
+		}
+		writeJSON(w, http.StatusOK, req.base(map[string]any{"p": p, "q": q, "edge_triangles": tri}))
+	case hasP: // vertex count t_p
+		var tri int64
+		if req.loops {
+			tri = groundtruth.VertexTrianglesFullLoopsAt(req.a.F, req.b.F, p) // Cor. 1
+		} else {
+			tri = groundtruth.VertexTrianglesAt(req.a.F, req.b.F, p) // t_C = 2·t_A ⊗ t_B
+		}
+		writeJSON(w, http.StatusOK, req.base(map[string]any{"p": p, "vertex_triangles": tri}))
+	default: // global count τ_C
+		var tau int64
+		if req.loops {
+			tau = groundtruth.GlobalTrianglesFullLoops(req.a.F, req.b.F)
+		} else {
+			tau = groundtruth.GlobalTriangles(req.a.F, req.b.F) // τ_C = 6·τ_A·τ_B
+		}
+		writeJSON(w, http.StatusOK, req.base(map[string]any{"global_triangles": tau}))
+	}
+}
+
+func (s *Server) gtClustering(w http.ResponseWriter, r *http.Request, req *gtRequest) {
+	if req.loops {
+		writeError(w, http.StatusBadRequest, "clustering ground truth (Thm. 1/2) applies to the loop-free product; drop loops=1")
+		return
+	}
+	if req.a.F.G.NumSelfLoops() != 0 || req.b.F.G.NumSelfLoops() != 0 {
+		writeError(w, http.StatusBadRequest, "clustering ground truth requires loop-free factors")
+		return
+	}
+	p, hasP, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, hasQ, err := req.vertexParam(r, "q")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch {
+	case hasP && hasQ:
+		if p == q || !req.hasProductArc(p, q) {
+			writeError(w, http.StatusBadRequest, "(%d,%d) is not a non-loop edge of the product", p, q)
+			return
+		}
+		xi := groundtruth.EdgeClusteringAt(req.a.F, req.b.F, p, q) // Thm. 2
+		writeJSON(w, http.StatusOK, req.base(map[string]any{"p": p, "q": q, "edge_clustering": floatValue(xi)}))
+	case hasP:
+		eta := groundtruth.VertexClusteringAt(req.a.F, req.b.F, p) // Thm. 1
+		writeJSON(w, http.StatusOK, req.base(map[string]any{"p": p, "vertex_clustering": floatValue(eta)}))
+	default:
+		writeError(w, http.StatusBadRequest, "clustering needs p=<vertex> or p,q=<edge>")
+	}
+}
+
+func (s *Server) gtEccentricity(w http.ResponseWriter, r *http.Request, req *gtRequest) {
+	if r.URL.Query().Get("hist") == "1" {
+		// O(diam) histogram over all n_C vertices without materializing ε_C.
+		hist := groundtruth.EccentricityHistogram(req.a.F, req.b.F)
+		out := make(map[string]int64, len(hist))
+		for e, c := range hist {
+			out[strconv.FormatInt(e, 10)] = c
+		}
+		writeJSON(w, http.StatusOK, req.base(map[string]any{"histogram": out}))
+		return
+	}
+	p, ok, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusBadRequest, "eccentricity needs p=<product vertex> or hist=1")
+		return
+	}
+	writeJSON(w, http.StatusOK, req.base(map[string]any{
+		"p": p, "eccentricity": hopValue(groundtruth.EccentricityAt(req.a.F, req.b.F, p)),
+	}))
+}
+
+func (s *Server) gtCloseness(w http.ResponseWriter, r *http.Request, req *gtRequest) {
+	p, ok, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusBadRequest, "closeness needs p=<product vertex>")
+		return
+	}
+	// Thm. 4 via the Sec. V-B compressed histogram: O(diam) per query.
+	z := groundtruth.ClosenessCompressedAt(req.a.F, req.b.F, p)
+	writeJSON(w, http.StatusOK, req.base(map[string]any{"p": p, "closeness": z}))
+}
+
+func (s *Server) gtHops(w http.ResponseWriter, r *http.Request, req *gtRequest) {
+	p, hasP, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, hasQ, err := req.vertexParam(r, "q")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !hasP || !hasQ {
+		writeError(w, http.StatusBadRequest, "hops needs p=<vertex>&q=<vertex>")
+		return
+	}
+	writeJSON(w, http.StatusOK, req.base(map[string]any{
+		"p": p, "q": q, "hops": hopValue(groundtruth.HopsAt(req.a.F, req.b.F, p, q)),
+	}))
+}
+
+// parseVertexList parses a comma-separated factor vertex list.
+func parseVertexList(raw string, n int64, name string) ([]int64, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("community needs %s=<comma-separated factor vertices>", name)
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int64, 0, len(parts))
+	seen := make(map[int64]bool, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s entry %q: %v", name, part, err)
+		}
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("%s vertex %d out of range [0,%d)", name, v, n)
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) gtCommunity(w http.ResponseWriter, r *http.Request, req *gtRequest) {
+	if !req.loops {
+		writeError(w, http.StatusBadRequest, "community ground truth (Thm. 6) is for the loops=1 product (A+I)⊗(B+I)")
+		return
+	}
+	setA, err := parseVertexList(r.URL.Query().Get("sa"), req.a.F.N(), "sa")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	setB, err := parseVertexList(r.URL.Query().Get("sb"), req.b.F.N(), "sb")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	statsA := groundtruth.FactorCommunity(req.a.F, setA)
+	statsB := groundtruth.FactorCommunity(req.b.F, setB)
+	cs := groundtruth.CommunityKron(req.a.F, req.b.F, statsA, statsB) // Thm. 6
+	writeJSON(w, http.StatusOK, req.base(map[string]any{
+		"sa": setA, "sb": setB,
+		"size": cs.Size, "m_in": cs.MIn, "m_out": cs.MOut,
+		"rho_in": cs.RhoIn, "rho_out": cs.RhoOut,
+	}))
+}
+
+func (s *Server) gtSummary(w http.ResponseWriter, r *http.Request, req *gtRequest) {
+	ga, gb := req.a.F.G, req.b.F.G
+	if req.loops {
+		ga, gb = ga.WithFullSelfLoops(), gb.WithFullSelfLoops()
+	}
+	edges, arcs := core.NumProductEdges(ga, gb)
+	out := map[string]any{
+		"n":     req.nC,
+		"edges": edges,
+		"arcs":  arcs,
+	}
+	// Weichsel component count needs connected factors with an edge each.
+	fa, fb := groundtruth.NewFactor(ga), groundtruth.NewFactor(gb)
+	if comps, err := groundtruth.ProductComponents(fa, fb); err == nil {
+		out["components"] = comps
+	}
+	writeJSON(w, http.StatusOK, req.base(out))
+}

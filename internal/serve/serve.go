@@ -1,0 +1,204 @@
+// Package serve implements kronserve, the HTTP ground-truth and
+// generation service over the repo's Kronecker machinery. The paper's
+// central economics make such a service viable: every supported analytic
+// of a product C = A ⊗ B (or (A+I) ⊗ (B+I)) has closed form in factor
+// quantities, so queries are answered from small cached factor summaries
+// in microseconds — C itself is only ever materialized as a stream, never
+// in server memory.
+//
+// The subsystem has four parts:
+//
+//   - a factor Registry, content-addressed by canonical hash
+//     (POST/GET /factors);
+//   - a SummaryCache of per-factor analytics (degrees, triangles, hop
+//     data) behind singleflight deduplication and a byte-budgeted LRU
+//     (GET /gt/{a}/{b}/{property});
+//   - a generation endpoint streaming product edges as NDJSON or the
+//     binary record format of internal/store, produced by the dist
+//     1D/2D generator with bounded concurrency (GET /gen/{a}/{b}/edges);
+//   - an operational surface: semaphore admission control with bounded
+//     queueing and 429s, request timeouts threaded through context, and
+//     /healthz + /metrics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// MaxInflight bounds concurrently executing heavy requests
+	// (ground-truth queries and generation streams). Default GOMAXPROCS.
+	MaxInflight int
+	// MaxQueue bounds heavy requests waiting for a slot; beyond it the
+	// server answers 429 immediately. Default 4×MaxInflight.
+	MaxQueue int
+	// CacheBytes budgets the factor summary LRU. Default 256 MiB.
+	CacheBytes int64
+	// RequestTimeout bounds one ground-truth request including queueing.
+	// Generation streams are exempt (they are bounded by client
+	// disconnect and context cancellation instead). Default 30s.
+	RequestTimeout time.Duration
+	// MaxUploadBytes bounds a factor registration body. Default 64 MiB.
+	MaxUploadBytes int64
+	// MaxRanks caps the ranks= parameter of generation requests.
+	// Default 64.
+	MaxRanks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxRanks <= 0 {
+		c.MaxRanks = 64
+	}
+	return c
+}
+
+// Server is the kronserve HTTP handler. Create with New; it is safe for
+// concurrent use and carries no per-request state.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *SummaryCache
+	lim     *Limiter
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value: all defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		cache:   NewSummaryCache(cfg.CacheBytes, m),
+		lim:     NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		metrics: m,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("meta", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("meta", s.handleMetrics))
+	s.mux.HandleFunc("POST /factors", s.instrument("factors", s.handleRegister))
+	s.mux.HandleFunc("GET /factors", s.instrument("factors", s.handleListFactors))
+	s.mux.HandleFunc("GET /factors/{hash}", s.instrument("factors", s.handleGetFactor))
+	s.mux.HandleFunc("GET /gt/{a}/{b}/{property}", s.instrument("gt", s.admitted(s.timed(s.handleGroundTruth))))
+	s.mux.HandleFunc("GET /gen/{a}/{b}/edges", s.instrument("gen", s.admitted(s.handleGenerate)))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the live counters (used by tests and cmd/kronserve).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusRecorder captures the response code for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency tracking
+// under the given route label.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		s.metrics.Observe(route, sr.status, time.Since(start))
+	}
+}
+
+// admitted gates a handler behind the admission controller: a full queue
+// means 429 now, not an unbounded wait.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.lim.Acquire(r.Context()); err != nil {
+			s.metrics.AdmissionRejected.Add(1)
+			if errors.Is(err, ErrBusy) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			} else {
+				writeError(w, statusForContextErr(err), "cancelled while queued: %v", err)
+			}
+			return
+		}
+		defer s.lim.Release()
+		h(w, r)
+	}
+}
+
+// timed bounds a handler by the configured request timeout.
+func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.Start).Seconds(),
+		"factors":        s.reg.Len(),
+		"inflight":       s.lim.Inflight(),
+		"queued":         s.lim.Waiting(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w, s.cache, s.lim, s.reg.Len())
+}
+
+// writeJSON renders v with a status code; encoding errors past the header
+// are unrecoverable and ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError renders a JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func statusForContextErr(err error) int {
+	// 503 for server-imposed deadlines; client cancels get 408.
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusRequestTimeout
+}

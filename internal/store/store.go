@@ -26,6 +26,24 @@ import (
 	"kronlab/internal/graph"
 )
 
+// RecordSize is the byte length of one binary edge record: two
+// little-endian int64 endpoints. The record format is shared by shard
+// files and by kronserve's binary edge stream.
+const RecordSize = 16
+
+// PutRecord encodes the edge (u, v) into b, which must be at least
+// RecordSize bytes.
+func PutRecord(b []byte, u, v int64) {
+	binary.LittleEndian.PutUint64(b[0:8], uint64(u))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(v))
+}
+
+// GetRecord decodes one edge record from b.
+func GetRecord(b []byte) (u, v int64) {
+	return int64(binary.LittleEndian.Uint64(b[0:8])),
+		int64(binary.LittleEndian.Uint64(b[8:16]))
+}
+
 // ShardFunc routes an edge to one of s shards.
 type ShardFunc func(u, v int64, s int) int
 
@@ -97,9 +115,8 @@ func (w *Writer) Append(u, v int64) error {
 		return fmt.Errorf("store: edge (%d,%d) out of range [0,%d)", u, v, w.n)
 	}
 	s := w.shard(u, v, len(w.files))
-	var rec [16]byte
-	binary.LittleEndian.PutUint64(rec[0:8], uint64(u))
-	binary.LittleEndian.PutUint64(rec[8:16], uint64(v))
+	var rec [RecordSize]byte
+	PutRecord(rec[:], u, v)
 	if _, err := w.bufs[s].Write(rec[:]); err != nil {
 		return fmt.Errorf("store: writing shard %d: %w", s, err)
 	}
@@ -172,7 +189,7 @@ func Open(dir string) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: missing shard %d: %w", i, err)
 		}
-		if info.Size() != c*16 {
+		if info.Size() != c*RecordSize {
 			return nil, fmt.Errorf("store: shard %d has %d bytes, manifest says %d edges", i, info.Size(), c)
 		}
 	}
@@ -203,13 +220,12 @@ func (st *Store) IterShard(i int, yield func(u, v int64) bool) error {
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
-	var rec [16]byte
+	var rec [RecordSize]byte
 	for e := int64(0); e < st.Counts[i]; e++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return fmt.Errorf("store: shard %d edge %d: %w", i, e, err)
 		}
-		u := int64(binary.LittleEndian.Uint64(rec[0:8]))
-		v := int64(binary.LittleEndian.Uint64(rec[8:16]))
+		u, v := GetRecord(rec[:])
 		if !yield(u, v) {
 			return nil
 		}
@@ -284,9 +300,8 @@ func NewShardWriter(dir string, i int) (*ShardWriter, error) {
 
 // Append writes one edge record.
 func (sw *ShardWriter) Append(u, v int64) error {
-	var rec [16]byte
-	binary.LittleEndian.PutUint64(rec[0:8], uint64(u))
-	binary.LittleEndian.PutUint64(rec[8:16], uint64(v))
+	var rec [RecordSize]byte
+	PutRecord(rec[:], u, v)
 	if _, err := sw.buf.Write(rec[:]); err != nil {
 		return err
 	}
@@ -304,6 +319,46 @@ func (sw *ShardWriter) Close() error {
 		return err
 	}
 	return sw.f.Close()
+}
+
+// Recover rebuilds the manifest of a store whose writer died before (or
+// while) finalizing: it scans the consecutive run of shard files starting
+// at shard-0000, truncates any trailing partial record left by an
+// interrupted Append, writes a fresh manifest from the surviving sizes,
+// and returns the reopened store. Complete records are never discarded. A
+// gap in the shard numbering ends the scan — shards past the gap cannot
+// be distinguished from another store's leftovers, so recovering them is
+// refused with an error rather than silently dropping data.
+func Recover(dir string, n int64) (*Store, error) {
+	var counts []int64
+	for i := 0; ; i++ {
+		info, err := os.Stat(filepath.Join(dir, shardName(i)))
+		if os.IsNotExist(err) {
+			for j := i + 1; j <= i+1+len(counts); j++ {
+				if _, err := os.Stat(filepath.Join(dir, shardName(j))); err == nil {
+					return nil, fmt.Errorf("store: recover %s: shard %d missing but shard %d exists", dir, i, j)
+				}
+			}
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: recover %s: %w", dir, err)
+		}
+		c := info.Size() / RecordSize
+		if rem := info.Size() % RecordSize; rem != 0 {
+			if err := os.Truncate(filepath.Join(dir, shardName(i)), c*RecordSize); err != nil {
+				return nil, fmt.Errorf("store: recover shard %d: truncating partial record: %w", i, err)
+			}
+		}
+		counts = append(counts, c)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("store: recover %s: no shard files", dir)
+	}
+	if err := WriteManifest(dir, n, counts); err != nil {
+		return nil, err
+	}
+	return Open(dir)
 }
 
 // WriteManifest finalizes a store whose shards were written externally

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -155,6 +156,107 @@ func TestOpenRejectsCorruption(t *testing.T) {
 	}
 	if _, err := Open(dir); err == nil {
 		t.Error("missing manifest should fail Open")
+	}
+}
+
+func TestOpenRejectsMissingShardAndBadCounts(t *testing.T) {
+	g := gen.ER(20, 0.4, 11)
+	dir := t.TempDir()
+	st := writeAll(t, dir, g, 3, nil)
+
+	// Count line with a non-numeric entry.
+	man := filepath.Join(dir, manifestName)
+	bad := "kronstore 1\nn 20\nshards 3\ncount 1 x 1\n"
+	if err := os.WriteFile(man, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("non-numeric count should fail Open")
+	}
+
+	// Count line disagreeing with a shard's actual size.
+	wrong := fmt.Sprintf("kronstore 1\nn 20\nshards 3\ncount %d %d %d\n",
+		st.Counts[0]+1, st.Counts[1], st.Counts[2])
+	if err := os.WriteFile(man, []byte(wrong), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("count/size mismatch should fail Open")
+	}
+
+	// Shard file deleted out from under a valid manifest.
+	if err := WriteManifest(dir, st.N, st.Counts); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, shardName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("missing shard file should fail Open")
+	}
+}
+
+// TestRecoverPartialShards simulates a writer that died mid-stream: no
+// manifest, one shard ending in a partial record. Recover must truncate
+// the torn record, keep every complete one, and yield an openable store.
+func TestRecoverPartialShards(t *testing.T) {
+	g := gen.ER(25, 0.4, 13)
+	dir := t.TempDir()
+	st := writeAll(t, dir, g, 3, nil)
+	wantTotal := st.TotalEdges()
+
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	shard1 := filepath.Join(dir, shardName(1))
+	data, err := os.ReadFile(shard1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < RecordSize {
+		t.Fatalf("test graph too small: shard 1 has %d bytes", len(data))
+	}
+	// Leave a torn record: strip the last 7 bytes of the final record.
+	if err := os.WriteFile(shard1, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.TotalEdges(); got != wantTotal-1 {
+		t.Errorf("recovered %d edges, want %d (one torn record dropped)", got, wantTotal-1)
+	}
+	if rec.Shards() != 3 || rec.N != g.NumVertices() {
+		t.Errorf("recovered store fields wrong: %+v", rec)
+	}
+	// Every surviving record must be intact and routable.
+	if err := rec.Iter(func(u, v int64) bool {
+		if u < 0 || u >= rec.N || v < 0 || v >= rec.N {
+			t.Fatalf("recovered edge (%d,%d) out of range", u, v)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// And the recovered store must survive a normal Open.
+	if _, err := Open(dir); err != nil {
+		t.Errorf("recovered store fails Open: %v", err)
+	}
+}
+
+func TestRecoverRefusesGaps(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Recover(dir, 5); err == nil {
+		t.Error("recover of empty dir should error")
+	}
+	// shard-0000 absent but shard-0001 present: ambiguous, must refuse.
+	if err := os.WriteFile(filepath.Join(dir, shardName(1)), make([]byte, RecordSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir, 5); err == nil {
+		t.Error("recover across a shard gap should error")
 	}
 }
 

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Run the repo's benchmark suites with -benchmem and capture the raw
+# `go test -json` event stream as BENCH_<date>.json in the repo root.
+#
+# Usage:
+#   scripts/bench.sh                 # all benchmark packages, full runs
+#   BENCHTIME=10x scripts/bench.sh   # shorter runs (passed to -benchtime)
+#   scripts/bench.sh ./internal/dist # only the named packages
+#
+# The output file is the unfiltered JSON event stream; extract the
+# benchmark lines with e.g.
+#   jq -r 'select(.Action=="output") | .Output' BENCH_2026-08-05.json \
+#     | grep '^Benchmark'
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="BENCH_$(date +%Y-%m-%d).json"
+
+if [ "$#" -gt 0 ]; then
+    PKGS="$*"
+else
+    # Packages that define Benchmark* functions.
+    PKGS=$(grep -rln 'func Benchmark' --include='*_test.go' . |
+        xargs -n1 dirname | sort -u)
+fi
+
+echo "benchmarking: $PKGS" >&2
+echo "writing $OUT" >&2
+
+# -run '^$' skips unit tests so only benchmarks execute.
+# shellcheck disable=SC2086
+go test -json -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" $PKGS >"$OUT"
+
+grep -o '"Output":"Benchmark[^"]*' "$OUT" | sed 's/"Output":"//; s/\\n$//; s/\\t/\t/g' >&2
+echo "done: $OUT" >&2
