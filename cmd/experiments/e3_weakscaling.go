@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,12 +38,25 @@ func runWeakScaling(w io.Writer) error {
 	table(w, []string{"R", "ideal work/rank", "busy ranks (1D)", "max work/rank (1D)", "busy ranks (2D)", "max work/rank (2D)"}, rows)
 	fmt.Fprintf(w, "\nExpected shape (paper's Rem. 1): 1D busy ranks plateau at |arcs_A| = %d\n", a.NumArcs())
 	fmt.Fprintf(w, "so 1D max work/rank stops shrinking, while 2D keeps scaling toward\n")
-	fmt.Fprintf(w, "O(|E_C|) ranks. Verified against actual CountOnly runs:\n\n")
+	fmt.Fprintf(w, "O(|E_C|) ranks. Verified against actual count-only engine runs:\n\n")
 
 	var rows2 [][]string
 	for _, r := range []int{32, 128} {
 		for _, twoD := range []bool{false, true} {
-			n, err := dist.CountOnly(a, b, r, twoD)
+			// Run the engine's count-only sink directly so the measured
+			// per-rank expansion counters confirm the predicted skew.
+			var plan dist.Plan
+			var err error
+			if twoD {
+				plan, err = dist.Plan2D(a, b, r)
+			} else {
+				plan, err = dist.Plan1D(a, b, r)
+			}
+			if err != nil {
+				return err
+			}
+			sink := &dist.CountSink{}
+			st, err := dist.Run(context.Background(), dist.Config{Plan: plan, Sink: sink})
 			if err != nil {
 				return err
 			}
@@ -50,10 +64,14 @@ func runWeakScaling(w io.Writer) error {
 			if twoD {
 				mode = "2D"
 			}
-			rows2 = append(rows2, []string{fmt.Sprint(r), mode, fmtInt(n), check(n == a.NumArcs()*b.NumArcs())})
+			rows2 = append(rows2, []string{
+				fmt.Sprint(r), mode, fmtInt(sink.Total()),
+				fmtInt(st.MaxGenerated()),
+				check(sink.Total() == a.NumArcs()*b.NumArcs()),
+			})
 		}
 	}
-	table(w, []string{"R", "mode", "edges generated", "complete"}, rows2)
+	table(w, []string{"R", "mode", "edges generated", "measured max work/rank", "complete"}, rows2)
 	return nil
 }
 

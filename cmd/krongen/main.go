@@ -6,7 +6,11 @@
 // Usage:
 //
 //	krongen -a A.txt -b B.txt [-out C.txt] [-mode serial|1d|2d] [-ranks R]
-//	        [-self-loops] [-binary] [-stats]
+//	        [-self-loops] [-binary] [-stats] [-store DIR [-shards S]]
+//
+// With -store the product streams to a sharded on-disk store instead of
+// an edge-list file: serially (shard count -shards), or under -mode 1d/2d
+// with one shard per simulated rank and O(batch) memory per rank.
 //
 // With -self-loops the product is (A+I) ⊗ (B+I), the construction required
 // by the triangle (Cor. 1/2), distance (Thm. 3) and community (Thm. 6)
@@ -39,8 +43,8 @@ func main() {
 	selfLoops := flag.Bool("self-loops", false, "generate (A+I) ⊗ (B+I)")
 	binary := flag.Bool("binary", false, "write the binary edge-list format")
 	stats := flag.Bool("stats", false, "print generation statistics to stderr")
-	storeDir := flag.String("store", "", "stream C to a sharded on-disk store at this directory instead of an edge-list file (serial mode only)")
-	shards := flag.Int("shards", 8, "shard count for -store")
+	storeDir := flag.String("store", "", "stream C to a sharded on-disk store at this directory instead of an edge-list file")
+	shards := flag.Int("shards", 8, "shard count for -store in serial mode (1d/2d modes use one shard per rank)")
 	flag.Parse()
 
 	if *aPath == "" || (*bPath == "" && *power < 2) {
@@ -78,12 +82,37 @@ func main() {
 		}
 	}
 
+	if *storeDir != "" && *mode != "serial" {
+		// Distributed generate-route-store: each rank streams its owned
+		// edges to its own shard, O(batch) memory per rank.
+		start := time.Now()
+		var st *store.Store
+		var genStats dist.Stats
+		var err error
+		switch *mode {
+		case "1d":
+			st, genStats, err = dist.Generate1DToStore(a, b, *ranks, *storeDir)
+		case "2d":
+			st, genStats, err = dist.Generate2DToStore(a, b, *ranks, *storeDir)
+		default:
+			log.Fatalf("unknown mode %q (want serial, 1d or 2d)", *mode)
+		}
+		if err != nil {
+			log.Fatalf("generating to store: %v", err)
+		}
+		if *stats {
+			elapsed := time.Since(start)
+			fmt.Fprintf(os.Stderr, "streamed %d arcs to %s (%d shards) in %v (%.0f edges/s)\n",
+				st.TotalEdges(), *storeDir, st.Shards(), elapsed, float64(st.TotalEdges())/elapsed.Seconds())
+			fmt.Fprintf(os.Stderr, "ranks=%d routed=%d edges, %d bytes, %d messages, max stored/rank=%d\n",
+				*ranks, genStats.EdgesRouted, genStats.BytesSent, genStats.Messages, genStats.MaxStored())
+		}
+		return
+	}
+
 	if *storeDir != "" {
 		// Streaming path: never materialize C. The expansion is the
 		// serial Sec. III loop; edges go straight to the sharded store.
-		if *mode != "serial" {
-			log.Fatal("-store requires -mode serial (distributed modes collect in memory)")
-		}
 		start := time.Now()
 		w, err := store.NewWriter(*storeDir, a.NumVertices()*b.NumVertices(), *shards, nil)
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"kronlab/internal/groundtruth"
 	"kronlab/internal/havoq"
 	"kronlab/internal/rejection"
+	"kronlab/internal/store"
 )
 
 // TestFilePipeline walks the krongen user journey in-process: write factor
@@ -210,6 +211,31 @@ func TestKrongenCLI(t *testing.T) {
 		if wantEdges[i] != gotEdges[i] {
 			t.Fatalf("edge %d differs", i)
 		}
+	}
+
+	// Distributed generate-route-store: -mode 2d streams to one shard per
+	// rank through the engine's store sink.
+	storeDir := filepath.Join(dir, "cstore")
+	cmd = exec.Command(bin, "-a", aPath, "-b", bPath, "-mode", "2d", "-ranks", "4", "-store", storeDir, "-stats")
+	stderr.Reset()
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("krongen -store -mode 2d: %v\n%s", err, stderr.String())
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards() != 4 || st.TotalEdges() != want.NumArcs() {
+		t.Fatalf("store has %d shards, %d arcs; want 4 shards, %d arcs",
+			st.Shards(), st.TotalEdges(), want.NumArcs())
+	}
+	onDisk, err := st.LoadGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onDisk.Equal(want) {
+		t.Fatal("2D store stream differs from serial product")
 	}
 }
 

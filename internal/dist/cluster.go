@@ -5,9 +5,17 @@
 // paper describes (HavoqGT on Sequoia); only the transport differs, and
 // the cluster accounts messages and bytes so communication volume can be
 // reported in the benchmarks.
+//
+// All generation paths are wrappers over one Plan→Expand→Route→Sink
+// engine (engine.go): a Plan decomposes the factors into per-rank tiles,
+// the Expand stage streams each tile's share of C, an optional OwnerFunc
+// routes edges over the all-to-all Exchange, and a pluggable Sink stores
+// them (in memory, on disk, to a streaming consumer, or as a count).
 package dist
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,13 +35,37 @@ type Message struct {
 	EOF   bool
 }
 
-// Stats aggregates traffic counters across an exchange. All fields are
-// totals over all ranks.
+// Stats aggregates traffic counters across an exchange. The scalar fields
+// are totals over all ranks; the per-rank slices expose load skew (the
+// paper's Rem. 1 crossover) and are populated by the engine, not by the
+// raw transport.
 type Stats struct {
 	EdgesGenerated int64 // product edges produced by expansion
 	EdgesRouted    int64 // edges sent to a different rank for storage
 	BytesSent      int64 // edgeWireBytes per routed edge
 	Messages       int64 // batches sent (including EOF markers)
+	MaxInboxDepth  int64 // deepest observed inbox backlog, in messages
+
+	PerRankGenerated []int64 // edges expanded by each rank (engine runs)
+	PerRankStored    []int64 // edges stored by each rank's sink (engine runs)
+}
+
+// MaxGenerated returns the largest per-rank generated count, or 0 when
+// per-rank counters were not collected.
+func (st Stats) MaxGenerated() int64 { return maxOf(st.PerRankGenerated) }
+
+// MaxStored returns the largest per-rank stored count, or 0 when per-rank
+// counters were not collected.
+func (st Stats) MaxStored() int64 { return maxOf(st.PerRankStored) }
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // Cluster is a simulated machine with R communicating ranks.
@@ -41,6 +73,16 @@ type Cluster struct {
 	r       int
 	inboxes []chan Message
 	stats   Stats
+
+	// Run context: cancelled (with cause) when any rank's body returns an
+	// error, so ranks blocked in Exchange tear down instead of waiting for
+	// EOF markers that will never arrive.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// bufPool recycles per-destination batch buffers between flushes so a
+	// long exchange allocates O(R + inflight) buffers, not O(messages).
+	bufPool sync.Pool
 
 	barrierMu   sync.Mutex
 	barrierCond *sync.Cond
@@ -62,6 +104,7 @@ func NewCluster(r int) (*Cluster, error) {
 	for i := range c.inboxes {
 		c.inboxes[i] = make(chan Message, 4*r+16)
 	}
+	c.ctx, c.cancel = context.WithCancelCause(context.Background())
 	c.barrierCond = sync.NewCond(&c.barrierMu)
 	return c, nil
 }
@@ -76,12 +119,25 @@ func (c *Cluster) Stats() Stats {
 		EdgesRouted:    atomic.LoadInt64(&c.stats.EdgesRouted),
 		BytesSent:      atomic.LoadInt64(&c.stats.BytesSent),
 		Messages:       atomic.LoadInt64(&c.stats.Messages),
+		MaxInboxDepth:  atomic.LoadInt64(&c.stats.MaxInboxDepth),
 	}
 }
 
 // Run executes body once per rank concurrently and waits for all ranks;
 // the first non-nil error is returned.
 func (c *Cluster) Run(body func(rk *Rank) error) error {
+	return c.RunContext(context.Background(), body)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, or any
+// rank's body returns an error, every rank blocked in Exchange (sending or
+// waiting for EOF markers) is released. The root cause — the first rank
+// error, or the external cancellation — is returned in preference to the
+// secondary context errors the other ranks observe.
+func (c *Cluster) RunContext(ctx context.Context, body func(rk *Rank) error) error {
+	ctx, cancel := context.WithCancelCause(ctx)
+	c.ctx, c.cancel = ctx, cancel
+	defer cancel(nil)
 	errs := make([]error, c.r)
 	var wg sync.WaitGroup
 	for id := 0; id < c.r; id++ {
@@ -89,15 +145,37 @@ func (c *Cluster) Run(body func(rk *Rank) error) error {
 		go func(id int) {
 			defer wg.Done()
 			errs[id] = body(&Rank{id: id, c: c})
+			if errs[id] != nil {
+				cancel(errs[id])
+			}
 		}(id)
 	}
 	wg.Wait()
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// getBuf returns an empty edge buffer with batchSize capacity, reusing a
+// recycled one when available.
+func (c *Cluster) getBuf() []graph.Edge {
+	if v := c.bufPool.Get(); v != nil {
+		return v.([]graph.Edge)[:0]
+	}
+	return make([]graph.Edge, 0, batchSize)
+}
+
+// putBuf recycles a delivered batch buffer.
+func (c *Cluster) putBuf(s []graph.Edge) {
+	if cap(s) > 0 {
+		c.bufPool.Put(s[:0]) //nolint:staticcheck // slice headers are cheap to box
+	}
 }
 
 // Rank is one simulated processor inside a Cluster.Run body.
@@ -112,14 +190,38 @@ func (rk *Rank) ID() int { return rk.id }
 // Size returns the cluster size R.
 func (rk *Rank) Size() int { return rk.c.r }
 
-// send delivers a message to rank `to`, updating traffic counters.
-func (rk *Rank) send(to int, m Message) {
+// Context returns the run's context; it is cancelled when any rank fails
+// or the RunContext caller's context is cancelled.
+func (rk *Rank) Context() context.Context { return rk.c.ctx }
+
+// send delivers a message to rank `to`, updating traffic counters. It
+// returns false without delivering when the run is cancelled — the
+// receiving rank may already be gone.
+func (rk *Rank) send(to int, m Message) bool {
+	select {
+	case rk.c.inboxes[to] <- m:
+	case <-rk.c.ctx.Done():
+		return false
+	}
 	atomic.AddInt64(&rk.c.stats.Messages, 1)
 	if len(m.Edges) > 0 && to != rk.id {
 		atomic.AddInt64(&rk.c.stats.EdgesRouted, int64(len(m.Edges)))
 		atomic.AddInt64(&rk.c.stats.BytesSent, int64(len(m.Edges))*edgeWireBytes)
 	}
-	rk.c.inboxes[to] <- m
+	if d := int64(len(rk.c.inboxes[to])); d > 0 {
+		atomicMax(&rk.c.stats.MaxInboxDepth, d)
+	}
+	return true
+}
+
+// atomicMax raises *addr to v if v is larger.
+func atomicMax(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
 }
 
 // Barrier blocks until all ranks have entered it.

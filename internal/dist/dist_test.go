@@ -63,7 +63,7 @@ func TestExchangeAllToAll(t *testing.T) {
 	received := make([][]graph.Edge, R)
 	err := c.Run(func(rk *Rank) error {
 		var got []graph.Edge
-		rk.Exchange(func(emit func(to int, e graph.Edge)) {
+		rk.Exchange(func(emit func(to int, e graph.Edge) bool) {
 			// Every rank sends one edge (id, to) to every rank.
 			for to := 0; to < R; to++ {
 				emit(to, graph.Edge{U: int64(rk.ID()), V: int64(to)})
@@ -101,7 +101,7 @@ func TestExchangeLargeVolume(t *testing.T) {
 	var total int64
 	err := c.Run(func(rk *Rank) error {
 		var count int64
-		rk.Exchange(func(emit func(to int, e graph.Edge)) {
+		rk.Exchange(func(emit func(to int, e graph.Edge) bool) {
 			for i := 0; i < 5000; i++ {
 				emit(i%R, graph.Edge{U: int64(i), V: int64(rk.ID())})
 			}

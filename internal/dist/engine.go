@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"kronlab/internal/core"
+	"kronlab/internal/graph"
+)
+
+// Tile is one unit of expansion work: a slice of A-arcs crossed with a
+// B-factor (the whole of B under 1D partitioning, a B-part under 2D).
+type Tile struct {
+	AArcs []graph.Edge
+	B     *graph.Graph
+}
+
+// Plan is the decomposition stage of the engine: the per-rank tile lists
+// produced by 1D (Sec. III) or 2D (Rem. 1) partitioning. Plans are inert
+// data — building one does not start a cluster — so they can be inspected,
+// rebalanced or logged before running.
+type Plan struct {
+	R     int
+	NC    int64    // product vertex count n_A·n_B
+	Tiles [][]Tile // Tiles[rank] is rank's expansion work
+}
+
+// Plan1D builds the Sec. III decomposition: B is replicated on every rank
+// and the arcs of A are evenly distributed, so rank ρ expands the single
+// tile A_ρ ⊗ B. Per-rank replicated storage is O(|E_A|/R + |E_B|).
+func Plan1D(a, b *graph.Graph, r int) (Plan, error) {
+	if r < 1 {
+		return Plan{}, fmt.Errorf("dist: plan needs ≥ 1 rank, got %d", r)
+	}
+	parts := PartitionArcs(a.ArcList(), r)
+	tiles := make([][]Tile, r)
+	for rk := 0; rk < r; rk++ {
+		tiles[rk] = []Tile{{AArcs: parts[rk], B: b}}
+	}
+	return Plan{R: r, NC: a.NumVertices() * b.NumVertices(), Tiles: tiles}, nil
+}
+
+// Plan2D builds the Rem. 1 decomposition: A is split into R½ parts and B
+// into Q parts (see Grid2D), and the R½·Q tiles A_i ⊗ B_j are assigned
+// round-robin to ranks. Per-rank replicated storage drops to
+// O(|E_A|/R½ + |E_B|/Q), enabling weak scaling to O(|E_C|) processors.
+func Plan2D(a, b *graph.Graph, r int) (Plan, error) {
+	if r < 1 {
+		return Plan{}, fmt.Errorf("dist: plan needs ≥ 1 rank, got %d", r)
+	}
+	grid := NewGrid2D(r)
+	aParts := PartitionArcs(a.ArcList(), grid.RHalf)
+	bParts := PartitionArcs(b.ArcList(), grid.Q)
+	// Pre-build each B-part as a Graph so expansion can stream against
+	// CSR; vertex count is preserved so γ indices stay global.
+	bGraphs := make([]*graph.Graph, grid.Q)
+	for j := range bGraphs {
+		bg, err := graph.New(b.NumVertices(), bParts[j])
+		if err != nil {
+			return Plan{}, fmt.Errorf("dist: building B part %d: %w", j, err)
+		}
+		bGraphs[j] = bg
+	}
+	tiles := make([][]Tile, r)
+	for t := 0; t < grid.Tiles(); t++ {
+		ai, bj := grid.TileOf(t)
+		tiles[t%r] = append(tiles[t%r], Tile{AArcs: aParts[ai], B: bGraphs[bj]})
+	}
+	return Plan{R: r, NC: a.NumVertices() * b.NumVertices(), Tiles: tiles}, nil
+}
+
+// planFor dispatches between the two decompositions.
+func planFor(a, b *graph.Graph, r int, twoD bool) (Plan, error) {
+	if twoD {
+		return Plan2D(a, b, r)
+	}
+	return Plan1D(a, b, r)
+}
+
+// RankSink consumes the edges owned by one rank. Store and Close are
+// called from that rank's goroutines only; a Sink that aggregates across
+// ranks must synchronize in Close (or use atomics).
+type RankSink interface {
+	// Store accepts one owned edge. An error aborts the whole run.
+	Store(e graph.Edge) error
+	// Close flushes the rank's output; it is called exactly once, after
+	// the rank's exchange (or direct expansion) has finished — even when
+	// the run is being cancelled.
+	Close() error
+}
+
+// Sink fans a generation run out to per-rank consumers. Rank is called
+// once per rank, inside the rank's goroutine, before expansion starts; an
+// error aborts the run on every rank (no deadlock: the other ranks'
+// exchanges are cancelled rather than left waiting for EOF markers).
+type Sink interface {
+	Rank(rk *Rank) (RankSink, error)
+}
+
+// Config describes one engine run.
+type Config struct {
+	Plan Plan
+	// Owner routes each generated edge to the rank that stores it, over
+	// the batched all-to-all Exchange. A nil Owner skips the Route stage
+	// entirely: every edge goes straight to the generating rank's sink
+	// with zero communication (count-only and streaming runs).
+	Owner OwnerFunc
+	Sink  Sink
+}
+
+// Run executes the Plan→Expand→Route→Sink engine: every rank expands its
+// planned tiles (the package's sole call into core's streaming product),
+// routes each edge through Config.Owner over the Exchange (or locally
+// when Owner is nil), and hands owned edges to its RankSink.
+//
+// Cancelling ctx tears the run down mid-exchange on every rank; the first
+// real error (a failed sink, or the cancellation cause) is returned.
+// The returned Stats carry the transport counters plus per-rank
+// generated/stored counts and the deepest inbox backlog observed.
+func Run(ctx context.Context, cfg Config) (Stats, error) {
+	p := cfg.Plan
+	c, err := NewCluster(p.R)
+	if err != nil {
+		return Stats{}, err
+	}
+	perGen := make([]int64, p.R)
+	perStored := make([]int64, p.R)
+	runErr := c.RunContext(ctx, func(rk *Rank) error {
+		rs, err := cfg.Sink.Rank(rk)
+		if err != nil {
+			return fmt.Errorf("dist: rank %d sink: %w", rk.ID(), err)
+		}
+		var generated, stored int64
+		var sinkErr error
+		// store hands one owned edge to the rank's sink. Under routing it
+		// runs on the exchange's receiver goroutine; sinkErr is read back
+		// only after Exchange returns (happens-before via its done
+		// channel), and the cancel tears down the producing ranks.
+		store := func(e graph.Edge) {
+			if sinkErr != nil {
+				return
+			}
+			if err := rs.Store(e); err != nil {
+				sinkErr = err
+				rk.c.cancel(err)
+				return
+			}
+			stored++
+		}
+		// expand streams this rank's tiles — the engine's Expand stage.
+		expand := func(yield func(e graph.Edge) bool) {
+			for _, t := range p.Tiles[rk.ID()] {
+				ok := true
+				core.StreamProductArcs(t.AArcs, t.B, func(u, v int64) bool {
+					generated++
+					ok = yield(graph.Edge{U: u, V: v})
+					return ok
+				})
+				if !ok {
+					return
+				}
+			}
+		}
+		var xErr error
+		if cfg.Owner != nil {
+			owner := cfg.Owner
+			xErr = rk.Exchange(func(emit func(to int, e graph.Edge) bool) {
+				expand(func(e graph.Edge) bool {
+					return emit(owner(e.U, e.V, p.R), e)
+				})
+			}, store)
+		} else {
+			expand(func(e graph.Edge) bool {
+				store(e)
+				if sinkErr != nil {
+					return false
+				}
+				// Unrouted sinks may never error (count-only); poll the
+				// run context once per batch so cancellation still lands.
+				if generated%batchSize == 0 {
+					select {
+					case <-rk.c.ctx.Done():
+						xErr = context.Cause(rk.c.ctx)
+						return false
+					default:
+					}
+				}
+				return true
+			})
+		}
+		atomic.AddInt64(&rk.c.stats.EdgesGenerated, generated)
+		perGen[rk.ID()] = generated
+		perStored[rk.ID()] = stored
+		closeErr := rs.Close()
+		switch {
+		case sinkErr != nil:
+			return sinkErr
+		case xErr != nil:
+			return xErr
+		default:
+			return closeErr
+		}
+	})
+	st := c.Stats()
+	st.PerRankGenerated = perGen
+	st.PerRankStored = perStored
+	return st, runErr
+}

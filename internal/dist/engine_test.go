@@ -1,0 +1,336 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/graph"
+)
+
+func TestPlanValidation(t *testing.T) {
+	a := gen.Ring(4)
+	if _, err := Plan1D(a, a, 0); err == nil {
+		t.Error("Plan1D with 0 ranks should error")
+	}
+	if _, err := Plan2D(a, a, -3); err == nil {
+		t.Error("Plan2D with negative ranks should error")
+	}
+	p, err := Plan2D(a, a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R != 6 || p.NC != 16 {
+		t.Errorf("Plan2D(6) = R=%d NC=%d", p.R, p.NC)
+	}
+	// Every tile of the grid is assigned to exactly one rank.
+	var tiles int
+	for _, ts := range p.Tiles {
+		tiles += len(ts)
+	}
+	if grid := NewGrid2D(6); tiles != grid.Tiles() {
+		t.Errorf("plan assigns %d tiles, grid has %d", tiles, grid.Tiles())
+	}
+}
+
+// randFactor builds a random factor graph: directed or undirected arcs,
+// optionally saturated with full self loops.
+func randFactor(n int64, seed int64, undirected, loops bool) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var arcs []graph.Edge
+	for i := 0; i < 3*int(n); i++ {
+		u, v := rng.Int63n(n), rng.Int63n(n)
+		if u == v {
+			continue
+		}
+		arcs = append(arcs, graph.Edge{U: u, V: v})
+		if undirected {
+			arcs = append(arcs, graph.Edge{U: v, V: u})
+		}
+	}
+	g, err := graph.New(n, arcs)
+	if err != nil {
+		panic(err)
+	}
+	if loops {
+		g = g.WithFullSelfLoops()
+	}
+	return g
+}
+
+// The cross-path equivalence property: for random small factors
+// (directed/undirected, with/without self loops) every generation path —
+// Generate1D, Generate2D, Stream, Generate1DToStore, Generate2DToStore —
+// yields the identical edge set of A ⊗ B, under each OwnerFunc where the
+// path takes one. Run under -race in CI.
+func TestPropertyAllPathsEquivalent(t *testing.T) {
+	f := func(seedA, seedB int64, rRaw uint8, undirected, loops bool) bool {
+		r := int(rRaw%9) + 1
+		a := randFactor(5, seedA, undirected, loops)
+		b := randFactor(4, seedB, !undirected, loops)
+		want, err := core.Product(a, b)
+		if err != nil {
+			return false
+		}
+		nC := a.NumVertices() * b.NumVertices()
+		owners := []OwnerFunc{OwnerBySource, OwnerByEdge, OwnerByBlock(nC)}
+		for _, owner := range owners {
+			for _, twoD := range []bool{false, true} {
+				res, err := generate(a, b, r, owner, twoD)
+				if err != nil {
+					return false
+				}
+				g, err := res.Collect()
+				if err != nil || !g.Equal(want) {
+					return false
+				}
+			}
+		}
+		var streamed []graph.Edge
+		if _, err := Stream(context.Background(), a, b, r, true, 32, func(batch []graph.Edge) error {
+			streamed = append(streamed, batch...)
+			return nil
+		}); err != nil {
+			return false
+		}
+		gs, err := graph.New(nC, streamed)
+		if err != nil || !gs.Equal(want) {
+			return false
+		}
+		for _, twoD := range []bool{false, true} {
+			st, _, err := generateToStore(a, b, r, t.TempDir(), twoD)
+			if err != nil {
+				return false
+			}
+			g, err := st.LoadGraph()
+			if err != nil || !g.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Generate2DToStore must stream exactly the serial product to disk, with
+// each shard holding only its rank's owned edges — the path that "falls
+// out for free" from the unified engine.
+func TestGenerate2DToStore(t *testing.T) {
+	a := gen.PrefAttach(10, 2, 21)
+	b := gen.ER(8, 0.5, 22)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{1, 3, 6} {
+		dir := t.TempDir()
+		st, stats, err := Generate2DToStore(a, b, r, dir)
+		if err != nil {
+			t.Fatalf("R=%d: %v", r, err)
+		}
+		if st.TotalEdges() != want.NumArcs() || stats.EdgesGenerated != want.NumArcs() {
+			t.Fatalf("R=%d: stored %d, generated %d, want %d",
+				r, st.TotalEdges(), stats.EdgesGenerated, want.NumArcs())
+		}
+		got, err := st.LoadGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("R=%d: on-disk 2D product differs from serial", r)
+		}
+		for i := 0; i < r; i++ {
+			if err := st.IterShard(i, func(u, v int64) bool {
+				if OwnerBySource(u, v, r) != i {
+					t.Fatalf("R=%d: edge (%d,%d) in wrong shard %d", r, u, v, i)
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// failSink fails setup on one rank while the others proceed into the
+// exchange — the regression shape for the pre-Exchange deadlock: before
+// engine cancellation, the healthy ranks would block forever waiting for
+// the failed rank's EOF markers.
+type failSink struct {
+	inner  Sink
+	failID int
+	err    error
+}
+
+func (s *failSink) Rank(rk *Rank) (RankSink, error) {
+	if rk.ID() == s.failID {
+		return nil, s.err
+	}
+	return s.inner.Rank(rk)
+}
+
+func TestRankSinkFailureDoesNotDeadlock(t *testing.T) {
+	a := gen.ER(20, 0.5, 31)
+	b := gen.ER(20, 0.5, 32)
+	plan, err := Plan1D(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sink setup boom")
+	sink := &failSink{inner: NewMemorySink(4), failID: 1, err: boom}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), Config{Plan: plan, Owner: OwnerBySource, Sink: sink})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("want sink setup error, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster deadlocked after rank sink setup failure")
+	}
+}
+
+// The user-visible variant: an unwritable store directory (a path under a
+// regular file) must propagate the error from every ToStore wrapper
+// instead of hanging the cluster.
+func TestGenerateToStoreBadDirPropagates(t *testing.T) {
+	a := gen.ER(10, 0.5, 33)
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(file, "store")
+	done := make(chan error, 2)
+	go func() {
+		_, _, err := Generate1DToStore(a, a, 3, bad)
+		done <- err
+	}()
+	go func() {
+		_, _, err := Generate2DToStore(a, a, 3, bad)
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("unwritable store dir must error")
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("ToStore deadlocked on unwritable store dir")
+		}
+	}
+}
+
+// cancelSink cancels the run context mid-generation from inside Store —
+// exercising end-to-end teardown of a routed exchange.
+type cancelSink struct {
+	cancel context.CancelFunc
+	after  int64
+	seen   int64
+}
+
+func (s *cancelSink) Rank(rk *Rank) (RankSink, error) { return s, nil }
+func (s *cancelSink) Store(graph.Edge) error {
+	if s.seen++; s.seen == s.after {
+		s.cancel()
+	}
+	return nil
+}
+func (s *cancelSink) Close() error { return nil }
+
+func TestRunCancellationTearsDownExchange(t *testing.T) {
+	a := gen.ER(40, 0.5, 41)
+	b := gen.ER(40, 0.5, 42)
+	plan, err := Plan1D(a, b, 1) // single rank: sink is single-goroutine
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelSink{cancel: cancel, after: 500}
+	done := make(chan struct{})
+	var st Stats
+	var runErr error
+	go func() {
+		defer close(done)
+		st, runErr = Run(ctx, Config{Plan: plan, Owner: OwnerBySource, Sink: sink})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not tear down")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", runErr)
+	}
+	if total := a.NumArcs() * b.NumArcs(); st.EdgesGenerated >= total {
+		t.Errorf("cancellation did not stop expansion: generated %d of %d", st.EdgesGenerated, total)
+	}
+}
+
+func TestPerRankStatsAndInboxDepth(t *testing.T) {
+	a := gen.ER(12, 0.5, 51)
+	b := gen.ER(12, 0.5, 52)
+	const r = 4
+	res, err := Generate1D(a, b, r, OwnerBySource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if len(st.PerRankGenerated) != r || len(st.PerRankStored) != r {
+		t.Fatalf("per-rank slices missing: %+v", st)
+	}
+	var gen, stored int64
+	for rk := 0; rk < r; rk++ {
+		gen += st.PerRankGenerated[rk]
+		stored += st.PerRankStored[rk]
+		if int64(len(res.PerRank[rk])) != st.PerRankStored[rk] {
+			t.Errorf("rank %d: stored %d edges but counter says %d",
+				rk, len(res.PerRank[rk]), st.PerRankStored[rk])
+		}
+	}
+	if gen != st.EdgesGenerated {
+		t.Errorf("per-rank generated sums to %d, total %d", gen, st.EdgesGenerated)
+	}
+	if stored != res.TotalStored() {
+		t.Errorf("per-rank stored sums to %d, total %d", stored, res.TotalStored())
+	}
+	if st.MaxGenerated() < st.EdgesGenerated/r {
+		t.Errorf("MaxGenerated %d below ideal %d", st.MaxGenerated(), st.EdgesGenerated/r)
+	}
+	if st.MaxInboxDepth < 0 {
+		t.Errorf("negative MaxInboxDepth %d", st.MaxInboxDepth)
+	}
+	// CountOnly populates per-rank counters through the same engine.
+	plan, err := Plan2D(a, b, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &CountSink{}
+	cst, err := Run(context.Background(), Config{Plan: plan, Sink: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Total() != a.NumArcs()*b.NumArcs() {
+		t.Errorf("count sink total %d, want %d", cs.Total(), a.NumArcs()*b.NumArcs())
+	}
+	var perStored int64
+	for _, n := range cst.PerRankStored {
+		perStored += n
+	}
+	if perStored != cs.Total() {
+		t.Errorf("per-rank stored %d != counted %d", perStored, cs.Total())
+	}
+}

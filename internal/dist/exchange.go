@@ -1,6 +1,11 @@
 package dist
 
-import "kronlab/internal/graph"
+import (
+	"context"
+	"sync/atomic"
+
+	"kronlab/internal/graph"
+)
 
 // batchSize is the number of edges buffered per destination before a
 // message is flushed, mirroring the aggregation HPC generators use to
@@ -11,45 +16,78 @@ const batchSize = 1024
 // called with an emit function that routes a single edge to a destination
 // rank; handle receives every edge delivered to this rank (from any rank,
 // including itself). Exchange returns when this rank has produced all its
-// edges and received the EOF markers of every rank.
+// edges and received the EOF markers of every rank, or with the
+// cancellation cause when the run is torn down mid-exchange (another rank
+// failed, or RunContext's context was cancelled).
+//
+// emit reports whether the edge was accepted; it returns false once the
+// exchange is cancelled, after which produce should stop generating.
+// Batch buffers are pooled: a delivered Message's Edges slice is recycled
+// after handle has seen its edges, so handle must copy any edge it
+// retains (graph.Edge values are copied by normal assignment/append).
 //
 // Internally the receiver runs concurrently with the producer so inbox
 // buffers drain while expansion is still running — the same overlap of
 // generation and communication an asynchronous MPI implementation gets.
-func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge)), handle func(e graph.Edge)) {
+func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge) bool), handle func(e graph.Edge)) error {
+	c := rk.c
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		eofs := 0
-		for eofs < rk.c.r {
-			m := <-rk.c.inboxes[rk.id]
-			for _, e := range m.Edges {
-				handle(e)
-			}
-			if m.EOF {
-				eofs++
+		for eofs < c.r {
+			select {
+			case m := <-c.inboxes[rk.id]:
+				for _, e := range m.Edges {
+					handle(e)
+				}
+				if m.EOF {
+					eofs++
+				}
+				c.putBuf(m.Edges)
+			case <-c.ctx.Done():
+				return
 			}
 		}
 	}()
 
-	buf := make([][]graph.Edge, rk.c.r)
-	flush := func(to int, eof bool) {
-		if len(buf[to]) > 0 || eof {
-			rk.send(to, Message{From: rk.id, Edges: buf[to], EOF: eof})
-			buf[to] = nil
+	aborted := false
+	buf := make([][]graph.Edge, c.r)
+	flush := func(to int, eof bool) bool {
+		if len(buf[to]) == 0 && !eof {
+			return true
 		}
+		if !rk.send(to, Message{From: rk.id, Edges: buf[to], EOF: eof}) {
+			return false
+		}
+		buf[to] = nil
+		return true
 	}
-	emit := func(to int, e graph.Edge) {
-		buf[to] = append(buf[to], e)
-		if len(buf[to]) >= batchSize {
-			flush(to, false)
+	emit := func(to int, e graph.Edge) bool {
+		if aborted {
+			return false
 		}
+		if buf[to] == nil {
+			buf[to] = c.getBuf()
+		}
+		buf[to] = append(buf[to], e)
+		if len(buf[to]) >= batchSize && !flush(to, false) {
+			aborted = true
+			return false
+		}
+		return true
 	}
 	produce(emit)
-	for to := 0; to < rk.c.r; to++ {
-		flush(to, true)
+	for to := 0; to < c.r && !aborted; to++ {
+		if !flush(to, true) {
+			aborted = true
+		}
 	}
 	<-done
+	if aborted || c.ctx.Err() != nil {
+		return context.Cause(c.ctx)
+	}
+	return nil
 }
 
 // OwnerFunc maps a product edge to the rank that stores it. The paper
@@ -71,12 +109,25 @@ func OwnerByEdge(u, v int64, r int) int {
 	return int(h % uint64(r))
 }
 
+// blockParams caches the per-rank block size for one cluster size r, so
+// the hot per-edge closure does a single division instead of recomputing
+// ⌈nC/r⌉ on every call.
+type blockParams struct {
+	r   int
+	per int64
+}
+
 // OwnerByBlock assigns contiguous source-vertex blocks of size nC/r —
 // the layout a CSR-partitioned distributed graph store would use.
 func OwnerByBlock(nC int64) OwnerFunc {
+	var cache atomic.Pointer[blockParams]
 	return func(u, _ int64, r int) int {
-		per := (nC + int64(r) - 1) / int64(r)
-		o := int(u / per)
+		p := cache.Load()
+		if p == nil || p.r != r {
+			p = &blockParams{r: r, per: (nC + int64(r) - 1) / int64(r)}
+			cache.Store(p)
+		}
+		o := int(u / p.per)
 		if o >= r {
 			o = r - 1
 		}

@@ -1,11 +1,9 @@
 package dist
 
 import (
-	"fmt"
+	"context"
 	"math"
-	"sync/atomic"
 
-	"kronlab/internal/core"
 	"kronlab/internal/graph"
 	"kronlab/internal/store"
 )
@@ -64,40 +62,39 @@ func PartitionArcs(arcs []graph.Edge, parts int) [][]graph.Edge {
 	return out
 }
 
+// generate runs the engine with an in-memory sink — the shared body of
+// Generate1D and Generate2D.
+func generate(a, b *graph.Graph, r int, owner OwnerFunc, twoD bool) (*Result, error) {
+	if owner == nil {
+		owner = OwnerBySource
+	}
+	plan, err := planFor(a, b, r, twoD)
+	if err != nil {
+		return nil, err
+	}
+	sink := NewMemorySink(r)
+	st, err := Run(context.Background(), Config{Plan: plan, Owner: owner, Sink: sink})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{NC: plan.NC, PerRank: sink.PerRank, Stats: st}, nil
+}
+
 // Generate1D runs the paper's Sec. III generator on a simulated cluster
 // of r ranks: B is replicated on every rank, the arcs of A are evenly
 // distributed, rank ρ expands C_ρ = A_ρ ⊗ B, and every generated edge is
 // routed to owner(u, v, r) for storage. Per-rank memory is
 // O(|E_A|/R + |E_B| + stored), time O(|E_A|·|E_B|/R).
 func Generate1D(a, b *graph.Graph, r int, owner OwnerFunc) (*Result, error) {
-	if owner == nil {
-		owner = OwnerBySource
-	}
-	c, err := NewCluster(r)
-	if err != nil {
-		return nil, err
-	}
-	parts := PartitionArcs(a.ArcList(), r)
-	res := &Result{NC: a.NumVertices() * b.NumVertices(), PerRank: make([][]graph.Edge, r)}
-	err = c.Run(func(rk *Rank) error {
-		var stored []graph.Edge
-		rk.Exchange(func(emit func(to int, e graph.Edge)) {
-			core.StreamProductArcs(parts[rk.ID()], b, func(u, v int64) bool {
-				atomic.AddInt64(&c.stats.EdgesGenerated, 1)
-				emit(owner(u, v, r), graph.Edge{U: u, V: v})
-				return true
-			})
-		}, func(e graph.Edge) {
-			stored = append(stored, e)
-		})
-		res.PerRank[rk.ID()] = stored
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Stats = c.Stats()
-	return res, nil
+	return generate(a, b, r, owner, false)
+}
+
+// Generate2D runs the Rem. 1 generator: both factors' arcs are
+// partitioned (A into R½ parts, B into Q parts) and each rank expands its
+// tile(s) A_i ⊗ B_j. Per-rank replicated storage drops from O(|E_B|) to
+// O(|E_A|/R½ + |E_B|/Q), enabling weak scaling to O(|E_C|) processors.
+func Generate2D(a, b *graph.Graph, r int, owner OwnerFunc) (*Result, error) {
+	return generate(a, b, r, owner, true)
 }
 
 // Grid2D is the processor grid of Rem. 1: R½ = ⌈√R⌉ columns of A-parts by
@@ -123,103 +120,19 @@ func (g Grid2D) Tiles() int { return g.RHalf * g.Q }
 // TileOf returns the (A-part, B-part) coordinates of tile t.
 func (g Grid2D) TileOf(t int) (aPart, bPart int) { return t % g.RHalf, t / g.RHalf }
 
-// Generate2D runs the Rem. 1 generator: both factors' arcs are
-// partitioned (A into R½ parts, B into Q parts) and each rank expands its
-// tile(s) A_i ⊗ B_j. Per-rank replicated storage drops from O(|E_B|) to
-// O(|E_A|/R½ + |E_B|/Q), enabling weak scaling to O(|E_C|) processors.
-func Generate2D(a, b *graph.Graph, r int, owner OwnerFunc) (*Result, error) {
-	if owner == nil {
-		owner = OwnerBySource
-	}
-	c, err := NewCluster(r)
-	if err != nil {
-		return nil, err
-	}
-	grid := NewGrid2D(r)
-	aParts := PartitionArcs(a.ArcList(), grid.RHalf)
-	bParts := PartitionArcs(b.ArcList(), grid.Q)
-	// Pre-build each B-part as a Graph so expansion can stream against
-	// CSR; vertex count is preserved so γ indices stay global.
-	bGraphs := make([]*graph.Graph, grid.Q)
-	for j := range bGraphs {
-		bGraphs[j], err = graph.New(b.NumVertices(), bParts[j])
-		if err != nil {
-			return nil, fmt.Errorf("dist: building B part %d: %w", j, err)
-		}
-	}
-	res := &Result{NC: a.NumVertices() * b.NumVertices(), PerRank: make([][]graph.Edge, r)}
-	err = c.Run(func(rk *Rank) error {
-		var stored []graph.Edge
-		rk.Exchange(func(emit func(to int, e graph.Edge)) {
-			for t := rk.ID(); t < grid.Tiles(); t += r {
-				ai, bj := grid.TileOf(t)
-				core.StreamProductArcs(aParts[ai], bGraphs[bj], func(u, v int64) bool {
-					atomic.AddInt64(&c.stats.EdgesGenerated, 1)
-					emit(owner(u, v, r), graph.Edge{U: u, V: v})
-					return true
-				})
-			}
-		}, func(e graph.Edge) {
-			stored = append(stored, e)
-		})
-		res.PerRank[rk.ID()] = stored
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Stats = c.Stats()
-	return res, nil
-}
-
 // CountOnly generates the product on r ranks without routing or storing
 // edges — the pure expansion throughput used by the generation benchmarks
 // (experiment E2). It returns the number of edges generated.
 func CountOnly(a, b *graph.Graph, r int, twoD bool) (int64, error) {
-	c, err := NewCluster(r)
+	plan, err := planFor(a, b, r, twoD)
 	if err != nil {
 		return 0, err
 	}
-	var total int64
-	if !twoD {
-		parts := PartitionArcs(a.ArcList(), r)
-		err = c.Run(func(rk *Rank) error {
-			var local int64
-			core.StreamProductArcs(parts[rk.ID()], b, func(u, v int64) bool {
-				local++
-				return true
-			})
-			atomic.AddInt64(&total, local)
-			return nil
-		})
-	} else {
-		grid := NewGrid2D(r)
-		aParts := PartitionArcs(a.ArcList(), grid.RHalf)
-		bParts := PartitionArcs(b.ArcList(), grid.Q)
-		bGraphs := make([]*graph.Graph, grid.Q)
-		for j := range bGraphs {
-			bGraphs[j], err = graph.New(b.NumVertices(), bParts[j])
-			if err != nil {
-				return 0, err
-			}
-		}
-		err = c.Run(func(rk *Rank) error {
-			var local int64
-			for t := rk.ID(); t < grid.Tiles(); t += r {
-				ai, bj := grid.TileOf(t)
-				core.StreamProductArcs(aParts[ai], bGraphs[bj], func(u, v int64) bool {
-					local++
-					return true
-				})
-			}
-			atomic.AddInt64(&total, local)
-			return nil
-		})
-	}
-	if err != nil {
+	sink := &CountSink{}
+	if _, err := Run(context.Background(), Config{Plan: plan, Sink: sink}); err != nil {
 		return 0, err
 	}
-	return total, nil
+	return sink.Total(), nil
 }
 
 // EffectiveParallelism1D returns the number of ranks that receive any work
@@ -250,51 +163,37 @@ func EffectiveParallelism2D(a, b *graph.Graph, r int) int {
 	return busy
 }
 
+// generateToStore runs the engine with a per-rank shard-writer sink. The
+// owner map is forced to shard-per-rank routing (OwnerBySource, matching
+// store.BySource) so shard i holds exactly rank i's owned edges.
+func generateToStore(a, b *graph.Graph, r int, dir string, twoD bool) (*store.Store, Stats, error) {
+	plan, err := planFor(a, b, r, twoD)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	sink := NewStoreSink(dir, r)
+	st, err := Run(context.Background(), Config{Plan: plan, Owner: OwnerBySource, Sink: sink})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	s, err := sink.Finalize(plan.NC)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return s, st, nil
+}
+
 // Generate1DToStore runs the 1D generator with each rank streaming its
 // owned edges to its own shard of an on-disk store — the full
 // generate-route-store pipeline of Sec. III with O(batch) memory per rank
-// regardless of |E_C|. The owner map is forced to shard-per-rank routing.
+// regardless of |E_C|.
 func Generate1DToStore(a, b *graph.Graph, r int, dir string) (*store.Store, Stats, error) {
-	c, err := NewCluster(r)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	parts := PartitionArcs(a.ArcList(), r)
-	counts := make([]int64, r)
-	errs := make([]error, r)
-	runErr := c.Run(func(rk *Rank) error {
-		sw, err := store.NewShardWriter(dir, rk.ID())
-		if err != nil {
-			errs[rk.ID()] = err
-			return err
-		}
-		rk.Exchange(func(emit func(to int, e graph.Edge)) {
-			core.StreamProductArcs(parts[rk.ID()], b, func(u, v int64) bool {
-				atomic.AddInt64(&c.stats.EdgesGenerated, 1)
-				emit(OwnerBySource(u, v, r), graph.Edge{U: u, V: v})
-				return true
-			})
-		}, func(e graph.Edge) {
-			if errs[rk.ID()] == nil {
-				errs[rk.ID()] = sw.Append(e.U, e.V)
-			}
-		})
-		counts[rk.ID()] = sw.Count()
-		if err := sw.Close(); err != nil && errs[rk.ID()] == nil {
-			errs[rk.ID()] = err
-		}
-		return errs[rk.ID()]
-	})
-	if runErr != nil {
-		return nil, Stats{}, runErr
-	}
-	nC := a.NumVertices() * b.NumVertices()
-	if err := store.WriteManifest(dir, nC, counts); err != nil {
-		return nil, Stats{}, err
-	}
-	st, err := store.Open(dir)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	return st, c.Stats(), nil
+	return generateToStore(a, b, r, dir, false)
+}
+
+// Generate2DToStore is Generate1DToStore under the Rem. 1 decomposition:
+// tiled expansion with per-rank shard storage, combining 2D weak scaling
+// with O(batch) generation memory.
+func Generate2DToStore(a, b *graph.Graph, r int, dir string) (*store.Store, Stats, error) {
+	return generateToStore(a, b, r, dir, true)
 }

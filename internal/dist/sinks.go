@@ -1,0 +1,194 @@
+package dist
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"kronlab/internal/graph"
+	"kronlab/internal/store"
+)
+
+// MemorySink collects each rank's owned edges in an in-memory slice —
+// the Result-producing sink behind Generate1D/Generate2D.
+type MemorySink struct {
+	PerRank [][]graph.Edge
+}
+
+// NewMemorySink returns a sink for r ranks.
+func NewMemorySink(r int) *MemorySink {
+	return &MemorySink{PerRank: make([][]graph.Edge, r)}
+}
+
+// Rank implements Sink.
+func (s *MemorySink) Rank(rk *Rank) (RankSink, error) {
+	return &memRankSink{s: s, id: rk.ID()}, nil
+}
+
+type memRankSink struct {
+	s   *MemorySink
+	id  int
+	buf []graph.Edge
+}
+
+func (m *memRankSink) Store(e graph.Edge) error {
+	m.buf = append(m.buf, e)
+	return nil
+}
+
+func (m *memRankSink) Close() error {
+	m.s.PerRank[m.id] = m.buf
+	return nil
+}
+
+// CountSink discards edges and counts them — the pure expansion
+// throughput sink behind CountOnly (experiment E2). Use with a nil
+// Owner so no routing traffic is simulated.
+type CountSink struct {
+	total int64
+}
+
+// Total returns the edges counted across all ranks.
+func (s *CountSink) Total() int64 { return atomic.LoadInt64(&s.total) }
+
+// Rank implements Sink.
+func (s *CountSink) Rank(rk *Rank) (RankSink, error) {
+	return &countRankSink{s: s}, nil
+}
+
+type countRankSink struct {
+	s *CountSink
+	n int64
+}
+
+func (c *countRankSink) Store(graph.Edge) error {
+	c.n++
+	return nil
+}
+
+func (c *countRankSink) Close() error {
+	atomic.AddInt64(&c.s.total, c.n)
+	return nil
+}
+
+// StoreSink streams each rank's owned edges to its own shard of an
+// on-disk store (one store.ShardWriter per rank), keeping per-rank memory
+// O(batch) regardless of |E_C|. Route with an owner map that matches the
+// shard layout (OwnerBySource, the store's BySource) so readers can
+// address shards; Finalize writes the manifest once the run succeeds.
+type StoreSink struct {
+	Dir    string
+	counts []int64
+}
+
+// NewStoreSink returns a sink writing r shards under dir.
+func NewStoreSink(dir string, r int) *StoreSink {
+	return &StoreSink{Dir: dir, counts: make([]int64, r)}
+}
+
+// Rank implements Sink; shard creation errors abort the run on all ranks.
+func (s *StoreSink) Rank(rk *Rank) (RankSink, error) {
+	sw, err := store.NewShardWriter(s.Dir, rk.ID())
+	if err != nil {
+		return nil, err
+	}
+	return &storeRankSink{s: s, id: rk.ID(), sw: sw}, nil
+}
+
+// Finalize writes the manifest for a completed run and opens the store.
+func (s *StoreSink) Finalize(nC int64) (*store.Store, error) {
+	if err := store.WriteManifest(s.Dir, nC, s.counts); err != nil {
+		return nil, err
+	}
+	return store.Open(s.Dir)
+}
+
+type storeRankSink struct {
+	s  *StoreSink
+	id int
+	sw *store.ShardWriter
+}
+
+func (t *storeRankSink) Store(e graph.Edge) error {
+	return t.sw.Append(e.U, e.V)
+}
+
+func (t *storeRankSink) Close() error {
+	t.s.counts[t.id] = t.sw.Count()
+	return t.sw.Close()
+}
+
+// streamSink fans every rank's edges into one buffered channel drained by
+// a single consumer — the serving sink behind Stream. Batches are pooled:
+// the consumer returns each batch after use via recycle.
+type streamSink struct {
+	ctx   context.Context
+	ch    chan []graph.Edge
+	batch int
+	pool  sync.Pool
+
+	messages int64
+	routed   int64
+	bytes    int64
+}
+
+func newStreamSink(ctx context.Context, batch, depth int) *streamSink {
+	return &streamSink{ctx: ctx, ch: make(chan []graph.Edge, depth), batch: batch}
+}
+
+func (s *streamSink) getBuf() []graph.Edge {
+	if v := s.pool.Get(); v != nil {
+		return v.([]graph.Edge)[:0]
+	}
+	return make([]graph.Edge, 0, s.batch)
+}
+
+// recycle returns a consumed batch to the pool.
+func (s *streamSink) recycle(b []graph.Edge) {
+	if cap(b) > 0 {
+		s.pool.Put(b[:0]) //nolint:staticcheck // slice headers are cheap to box
+	}
+}
+
+// Rank implements Sink.
+func (s *streamSink) Rank(rk *Rank) (RankSink, error) {
+	return &streamRankSink{s: s, buf: s.getBuf()}, nil
+}
+
+type streamRankSink struct {
+	s   *streamSink
+	buf []graph.Edge
+}
+
+func (t *streamRankSink) Store(e graph.Edge) error {
+	t.buf = append(t.buf, e)
+	if len(t.buf) >= t.s.batch {
+		return t.flush()
+	}
+	return nil
+}
+
+// flush hands the current batch to the consumer, accounting it as routed
+// traffic only on successful delivery — a batch dropped by cancellation
+// is never counted.
+func (t *streamRankSink) flush() error {
+	if len(t.buf) == 0 {
+		return nil
+	}
+	select {
+	case t.s.ch <- t.buf:
+		atomic.AddInt64(&t.s.messages, 1)
+		atomic.AddInt64(&t.s.routed, int64(len(t.buf)))
+		atomic.AddInt64(&t.s.bytes, int64(len(t.buf))*edgeWireBytes)
+		t.buf = t.s.getBuf()
+		return nil
+	case <-t.s.ctx.Done():
+		return context.Cause(t.s.ctx)
+	}
+}
+
+// Close performs the final flush; its result is propagated so a batch
+// dropped at teardown is reported rather than silently counted.
+func (t *streamRankSink) Close() error {
+	return t.flush()
+}

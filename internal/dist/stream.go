@@ -3,10 +3,8 @@ package dist
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
-	"kronlab/internal/core"
 	"kronlab/internal/graph"
 )
 
@@ -16,124 +14,69 @@ import (
 const DefaultStreamBatch = 1024
 
 // Stream runs the Sec. III generator (1D partitioning, or Rem. 1's 2D
-// grid with twoD) on r concurrent expander goroutines and delivers every
+// grid with twoD) on r concurrent expander ranks and delivers every
 // generated product arc of C = A ⊗ B to emit in batches. It is the
-// serving-side counterpart of Generate1D/Generate2D: instead of routing
+// engine run with the single-consumer streaming sink: instead of routing
 // edges to per-rank storage, all ranks feed one consumer — kronserve's
 // HTTP response writer — so memory stays O(r·batch) no matter how large
 // |E_C| is.
 //
 // emit is called from a single goroutine (Stream's caller), in unspecified
-// edge order; the batch slice is reused and must not be retained. Stream
-// stops early when ctx is cancelled or emit returns an error; either way
-// the expander goroutines are torn down before Stream returns. Stats
-// counters follow the Generate* conventions, with every delivered edge
-// accounted as routed traffic to the consumer.
+// edge order; the batch slice is recycled after emit returns and must not
+// be retained. Stream stops early when ctx is cancelled or emit returns an
+// error; either way the expander ranks are torn down before Stream
+// returns. Stats counters follow the Generate* conventions, with every
+// delivered edge accounted as routed traffic to the consumer.
 func Stream(ctx context.Context, a, b *graph.Graph, r int, twoD bool, batch int, emit func([]graph.Edge) error) (Stats, error) {
-	var stats Stats
 	if r < 1 {
-		return stats, fmt.Errorf("dist: stream needs ≥ 1 rank, got %d", r)
+		return Stats{}, fmt.Errorf("dist: stream needs ≥ 1 rank, got %d", r)
 	}
 	if batch <= 0 {
 		batch = DefaultStreamBatch
 	}
+	plan, err := planFor(a, b, r, twoD)
+	if err != nil {
+		return Stats{}, err
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// Work units mirror the Generate* partitionings: 1D gives rank ρ the
-	// tile (A_ρ, B); 2D gives it the round-robin tiles of the R½×Q grid.
-	type tile struct {
-		aArcs []graph.Edge
-		b     *graph.Graph
-	}
-	units := make([][]tile, r)
-	if !twoD {
-		parts := PartitionArcs(a.ArcList(), r)
-		for rk := 0; rk < r; rk++ {
-			units[rk] = []tile{{parts[rk], b}}
-		}
-	} else {
-		grid := NewGrid2D(r)
-		aParts := PartitionArcs(a.ArcList(), grid.RHalf)
-		bParts := PartitionArcs(b.ArcList(), grid.Q)
-		bGraphs := make([]*graph.Graph, grid.Q)
-		for j := range bGraphs {
-			bg, err := graph.New(b.NumVertices(), bParts[j])
-			if err != nil {
-				return stats, fmt.Errorf("dist: building B part %d: %w", j, err)
-			}
-			bGraphs[j] = bg
-		}
-		for t := 0; t < grid.Tiles(); t++ {
-			ai, bj := grid.TileOf(t)
-			rk := t % r
-			units[rk] = append(units[rk], tile{aParts[ai], bGraphs[bj]})
-		}
-	}
-
-	ch := make(chan []graph.Edge, 2*r)
-	var wg sync.WaitGroup
-	for rk := 0; rk < r; rk++ {
-		wg.Add(1)
-		go func(work []tile) {
-			defer wg.Done()
-			buf := make([]graph.Edge, 0, batch)
-			flush := func() bool {
-				if len(buf) == 0 {
-					return true
-				}
-				select {
-				case ch <- buf:
-					atomic.AddInt64(&stats.Messages, 1)
-					atomic.AddInt64(&stats.EdgesRouted, int64(len(buf)))
-					atomic.AddInt64(&stats.BytesSent, int64(len(buf))*edgeWireBytes)
-					buf = make([]graph.Edge, 0, batch)
-					return true
-				case <-ctx.Done():
-					return false
-				}
-			}
-			for _, u := range work {
-				stop := false
-				core.StreamProductArcs(u.aArcs, u.b, func(x, y int64) bool {
-					atomic.AddInt64(&stats.EdgesGenerated, 1)
-					buf = append(buf, graph.Edge{U: x, V: y})
-					if len(buf) == batch && !flush() {
-						stop = true
-						return false
-					}
-					return true
-				})
-				if stop {
-					return
-				}
-			}
-			flush()
-		}(units[rk])
-	}
+	sink := newStreamSink(ctx, batch, 2*r)
+	var st Stats
+	var runErr error
+	done := make(chan struct{})
 	go func() {
-		wg.Wait()
-		close(ch)
+		defer close(done)
+		st, runErr = Run(ctx, Config{Plan: plan, Sink: sink})
+		close(sink.ch)
 	}()
 
 	var emitErr error
-	for batch := range ch {
+	for b := range sink.ch {
 		if emitErr != nil || ctx.Err() != nil {
-			continue // drain so expanders can exit
+			sink.recycle(b)
+			continue // drain so expander ranks can exit
 		}
-		if err := emit(batch); err != nil {
+		if err := emit(b); err != nil {
 			emitErr = err
 			cancel()
+			continue
 		}
+		sink.recycle(b)
 	}
-	snapshot := Stats{
-		EdgesGenerated: atomic.LoadInt64(&stats.EdgesGenerated),
-		EdgesRouted:    atomic.LoadInt64(&stats.EdgesRouted),
-		BytesSent:      atomic.LoadInt64(&stats.BytesSent),
-		Messages:       atomic.LoadInt64(&stats.Messages),
+	<-done
+
+	// The engine's transport counters are idle here (no Owner routing);
+	// delivery to the consumer is the stream's communication.
+	st.Messages = atomic.LoadInt64(&sink.messages)
+	st.EdgesRouted = atomic.LoadInt64(&sink.routed)
+	st.BytesSent = atomic.LoadInt64(&sink.bytes)
+	switch {
+	case emitErr != nil:
+		return st, emitErr
+	case context.Cause(ctx) != nil:
+		return st, context.Cause(ctx)
+	default:
+		return st, runErr
 	}
-	if emitErr != nil {
-		return snapshot, emitErr
-	}
-	return snapshot, context.Cause(ctx)
 }

@@ -5,6 +5,7 @@
 # Usage:
 #   scripts/bench.sh                 # all benchmark packages, full runs
 #   BENCHTIME=10x scripts/bench.sh   # shorter runs (passed to -benchtime)
+#   OUT=BENCH_foo.json scripts/bench.sh  # override the output file name
 #   scripts/bench.sh ./internal/dist # only the named packages
 #
 # The output file is the unfiltered JSON event stream; extract the
@@ -16,7 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="BENCH_$(date +%Y-%m-%d).json"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
 if [ "$#" -gt 0 ]; then
     PKGS="$*"
