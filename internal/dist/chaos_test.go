@@ -1,0 +1,517 @@
+package dist
+
+// Chaos soak and teardown regressions for the simulated cluster. Seeded
+// fault schedules (link delays, probabilistic drops with bounded
+// redelivery, rank crashes at every injection point) run against the
+// full engine matrix — 1D and 2D plans, routed and unrouted sinks,
+// memory/count/store sinks — each under a watchdog. The invariant is
+// the paper's verifiability contract: every run either produces the
+// exact reference edge set or returns the injected fault as its error.
+// No hangs, no partial silent success.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kronlab/internal/core"
+	"kronlab/internal/gen"
+	"kronlab/internal/graph"
+)
+
+const chaosWatchdog = 60 * time.Second
+
+// runWithWatchdog fails the test loudly if fn does not return within the
+// deadline — a reintroduced collective or exchange hang trips the
+// watchdog instead of stalling the whole test binary.
+func runWithWatchdog(t *testing.T, d time.Duration, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatalf("watchdog: run still blocked after %v", d)
+		return nil
+	}
+}
+
+// chaosKind enumerates the fault families the soak cycles through.
+type chaosKind int
+
+const (
+	chaosBaseline        chaosKind = iota // no faults armed
+	chaosDelay                            // per-link delivery delay
+	chaosDropRecoverable                  // drops with ample redelivery budget
+	chaosDropLossy                        // certain drop, tiny budget → ErrMessageLost
+	chaosCrashSink                        // rank dies before sink setup
+	chaosCrashExpand                      // rank dies mid-expansion
+	chaosCrashExchange                    // rank dies on an exchange send
+	chaosCrashCollective                  // rank dies entering the teardown collective
+	chaosKindCount
+)
+
+func (k chaosKind) String() string {
+	return [...]string{"baseline", "delay", "drop-recoverable", "drop-lossy",
+		"crash-sink", "crash-expand", "crash-exchange", "crash-collective"}[k]
+}
+
+// plannedWork returns the rank with the most planned expansion work and
+// that rank's product-edge count — the deterministic target for a
+// mid-expansion crash.
+func plannedWork(p Plan) (rank int, edges int64) {
+	for rk, tiles := range p.Tiles {
+		var w int64
+		for _, tl := range tiles {
+			w += int64(len(tl.AArcs)) * tl.B.NumArcs()
+		}
+		if w > edges {
+			rank, edges = rk, w
+		}
+	}
+	return rank, edges
+}
+
+// TestChaosSoak drives ≥64 seeded fault schedules through the engine.
+// Every schedule must finish within the watchdog and either yield the
+// exact reference edge set or surface the injected fault as the run's
+// error.
+func TestChaosSoak(t *testing.T) {
+	a := gen.ER(6, 0.5, 101).WithFullSelfLoops()
+	b := gen.PrefAttach(5, 2, 102)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nC := a.NumVertices() * b.NumVertices()
+
+	const schedules = 64
+	for i := 0; i < schedules; i++ {
+		i := i
+		kind := chaosKind(i % int(chaosKindCount))
+		r := 2 + i%4 // 2..5 ranks
+		twoD := (i/8)%2 == 1
+		// Link-fault kinds and exchange crashes need routing traffic;
+		// the remaining kinds alternate to cover the unrouted path too.
+		routed := true
+		switch kind {
+		case chaosBaseline, chaosCrashSink, chaosCrashExpand, chaosCrashCollective:
+			routed = (i/16)%2 == 0
+		}
+
+		plan, err := planFor(a, b, r, twoD)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fp := FaultPlan{Seed: int64(1000 + i)}
+		expectCrash, expectLost := false, false
+		switch kind {
+		case chaosBaseline:
+		case chaosDelay:
+			fp.Link.MaxDelay = time.Millisecond
+			// One extra-slow link, exercising the per-link override.
+			fp.Links = map[Link]LinkFault{{From: 0, To: 1}: {MaxDelay: 3 * time.Millisecond}}
+		case chaosDropRecoverable:
+			// Loss probability per message is 0.4^33 — never, but every
+			// cross-rank message is exercised through the retry loop.
+			fp.Link.DropProb = 0.4
+			fp.MaxRedeliver = 32
+		case chaosDropLossy:
+			// Every attempt drops and the budget is tiny: the first
+			// cross-rank message (each rank flushes EOF to every peer,
+			// and r ≥ 2) is declared lost and must fail the run loudly.
+			fp.Link.DropProb = 1
+			fp.MaxRedeliver = 2
+			expectLost = true
+		case chaosCrashSink:
+			fp.CrashRank, fp.CrashPoint, fp.CrashAfter = i%r, FaultBeforeSinkSetup, 0
+			expectCrash = true
+		case chaosCrashExpand:
+			rank, work := plannedWork(plan)
+			fp.CrashRank, fp.CrashPoint, fp.CrashAfter = rank, FaultMidExpansion, int64(i%5)
+			expectCrash = work > int64(i%5)
+		case chaosCrashExchange:
+			// Every rank performs at least r sends (the EOF flush to
+			// each peer), so CrashAfter < r always fires.
+			fp.CrashRank, fp.CrashPoint, fp.CrashAfter = i%r, FaultMidExchange, int64(i%2)
+			expectCrash = true
+		case chaosCrashCollective:
+			// The teardown reduce enters three barriers per rank.
+			fp.CrashRank, fp.CrashPoint, fp.CrashAfter = i%r, FaultInCollective, int64(i%3)
+			expectCrash = true
+		}
+
+		cfg := Config{Plan: plan, Faults: &fp}
+		var verify func(t *testing.T)
+		switch {
+		case kind == chaosDelay && i >= 32:
+			// Routed on-disk path: shards must reassemble the product.
+			ss := NewStoreSink(t.TempDir(), r)
+			cfg.Owner, cfg.Sink = OwnerBySource, ss
+			verify = func(t *testing.T) {
+				st, err := ss.Finalize(nC)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := st.LoadGraph()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g.Equal(want) {
+					t.Fatal("on-disk chaos product differs from reference")
+				}
+			}
+		case kind == chaosBaseline && !routed:
+			cs := &CountSink{}
+			cfg.Sink = cs
+			verify = func(t *testing.T) {
+				if cs.Total() != want.NumArcs() {
+					t.Fatalf("counted %d edges, reference has %d", cs.Total(), want.NumArcs())
+				}
+			}
+		default:
+			ms := NewMemorySink(r)
+			cfg.Sink = ms
+			if routed {
+				cfg.Owner = OwnerByEdge
+			}
+			verify = func(t *testing.T) {
+				var arcs []graph.Edge
+				for _, s := range ms.PerRank {
+					arcs = append(arcs, s...)
+				}
+				g, err := graph.New(nC, arcs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g.Equal(want) {
+					t.Fatal("run reported success but edge set differs from reference")
+				}
+			}
+		}
+
+		name := fmt.Sprintf("%02d_%s_r%d_%s_%s", i, kind, r,
+			map[bool]string{false: "1d", true: "2d"}[twoD],
+			map[bool]string{false: "unrouted", true: "routed"}[routed])
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+				_, err := Run(context.Background(), cfg)
+				return err
+			})
+			switch {
+			case expectCrash:
+				var ce *RankCrashError
+				if !errors.As(runErr, &ce) {
+					t.Fatalf("want RankCrashError, got %v", runErr)
+				}
+				if ce.Rank != fp.CrashRank || ce.Point != fp.CrashPoint {
+					t.Fatalf("crash surfaced as rank %d at %s, injected rank %d at %s",
+						ce.Rank, ce.Point, fp.CrashRank, fp.CrashPoint)
+				}
+			case expectLost:
+				if !errors.Is(runErr, ErrMessageLost) {
+					t.Fatalf("want ErrMessageLost, got %v", runErr)
+				}
+			default:
+				if runErr != nil {
+					t.Fatalf("recoverable schedule failed: %v", runErr)
+				}
+				verify(t)
+			}
+		})
+	}
+}
+
+// TestBarrierReleasesOnRankFailure is the collective-deadlock regression:
+// a rank error during a collective used to leave every other rank waiting
+// on the barrier cond var forever. BarrierContext must release and return
+// the dead rank's error as the run's cause.
+func TestBarrierReleasesOnRankFailure(t *testing.T) {
+	boom := errors.New("rank 2 died")
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		return c.Run(func(rk *Rank) error {
+			if rk.ID() == 2 {
+				return boom
+			}
+			if err := rk.BarrierContext(); !errors.Is(err, boom) {
+				return fmt.Errorf("BarrierContext returned %v, want the dead rank's error", err)
+			}
+			return nil
+		})
+	})
+	if !errors.Is(runErr, boom) {
+		t.Fatalf("run error = %v, want the dead rank's error", runErr)
+	}
+}
+
+// The legacy blocking Barrier must also release (by returning) on a
+// cancelled run instead of hanging its callers.
+func TestBarrierLegacyUnblocksOnCancelledRun(t *testing.T) {
+	boom := errors.New("rank 0 died")
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		return c.Run(func(rk *Rank) error {
+			if rk.ID() == 0 {
+				return boom
+			}
+			rk.Barrier() // must return, not hang
+			return nil
+		})
+	})
+	if !errors.Is(runErr, boom) {
+		t.Fatalf("run error = %v, want boom", runErr)
+	}
+}
+
+func TestAllReduceSumCancelledReturnsCause(t *testing.T) {
+	boom := errors.New("rank 3 died")
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		return c.Run(func(rk *Rank) error {
+			if rk.ID() == 3 {
+				return boom
+			}
+			if _, err := rk.AllReduceSumContext(1); !errors.Is(err, boom) {
+				return fmt.Errorf("AllReduceSumContext returned %v, want the dead rank's error", err)
+			}
+			return nil
+		})
+	})
+	if !errors.Is(runErr, boom) {
+		t.Fatalf("run error = %v, want boom", runErr)
+	}
+}
+
+// TestClusterOneShotAfterCancelledRun is the stale-inbox regression: an
+// aborted run used to leave its cancelled context and undelivered
+// messages in place, so a second run on the same cluster would misroute
+// stale batches into the new exchange. The cluster is now explicitly
+// one-shot, and Reset drains the residue.
+func TestClusterOneShotAfterCancelledRun(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("rank 0 aborted mid-exchange")
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		return c.Run(func(rk *Rank) error {
+			if rk.ID() != 0 {
+				return nil
+			}
+			// Stage an undelivered message, then die before EOF: the
+			// exact residue an aborted exchange leaves behind.
+			buf := c.getBuf()
+			buf = append(buf, graph.Edge{U: 7, V: 7})
+			rk.send(1, Message{From: 0, Edges: buf})
+			return boom
+		})
+	})
+	if !errors.Is(runErr, boom) {
+		t.Fatalf("aborted run returned %v, want boom", runErr)
+	}
+	if len(c.inboxes[1]) == 0 {
+		t.Fatal("precondition: aborted run should have left a stale inbox message")
+	}
+
+	// Reuse without Reset is the corruption hazard — it must be refused.
+	if err := c.Run(func(rk *Rank) error { return nil }); !errors.Is(err, ErrClusterUsed) {
+		t.Fatalf("second run on a used cluster = %v, want ErrClusterUsed", err)
+	}
+
+	c.Reset()
+	for i, ch := range c.inboxes {
+		if n := len(ch); n != 0 {
+			t.Fatalf("inbox %d still holds %d stale messages after Reset", i, n)
+		}
+	}
+	if n := c.outstandingBufs(); n != 0 {
+		t.Fatalf("%d pooled buffers still outstanding after Reset", n)
+	}
+	if st := c.Stats(); st.Messages != 0 || st.EdgesRouted != 0 || st.BytesSent != 0 || st.MaxInboxDepth != 0 {
+		t.Fatalf("Reset did not zero stats: %+v", st)
+	}
+
+	// A real exchange on the reset cluster delivers exactly the fresh
+	// edges — the stale (7,7) batch must not reappear.
+	received := make([][]graph.Edge, 2)
+	runErr = runWithWatchdog(t, chaosWatchdog, func() error {
+		return c.Run(func(rk *Rank) error {
+			var got []graph.Edge
+			err := rk.Exchange(func(emit func(to int, e graph.Edge) bool) {
+				for to := 0; to < 2; to++ {
+					emit(to, graph.Edge{U: int64(rk.ID()), V: int64(to)})
+				}
+			}, func(e graph.Edge) {
+				got = append(got, e)
+			})
+			received[rk.ID()] = got
+			return err
+		})
+	})
+	if runErr != nil {
+		t.Fatalf("post-Reset run failed: %v", runErr)
+	}
+	for id, got := range received {
+		if len(got) != 2 {
+			t.Fatalf("rank %d received %d edges after Reset, want 2: %v", id, len(got), got)
+		}
+		for _, e := range got {
+			if e.U == 7 && e.V == 7 {
+				t.Fatalf("rank %d received a stale pre-Reset batch: %v", id, got)
+			}
+		}
+	}
+}
+
+// TestExchangeAbortReturnsPooledBuffersOnCancel is the buffer-leak
+// regression: staged, un-flushed per-destination batches used to vanish
+// from the pool whenever an exchange aborted.
+func TestExchangeAbortReturnsPooledBuffersOnCancel(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("rank 0 died before exchanging")
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		return c.Run(func(rk *Rank) error {
+			if rk.ID() == 0 {
+				return boom
+			}
+			// Stage one small batch per destination (nothing reaches the
+			// batchSize flush threshold), then hold the exchange open
+			// until teardown so the EOF flush happens on a dead run.
+			return rk.Exchange(func(emit func(to int, e graph.Edge) bool) {
+				for to := 0; to < 3; to++ {
+					emit(to, graph.Edge{U: int64(rk.ID()), V: int64(to)})
+				}
+				<-rk.Context().Done()
+			}, func(graph.Edge) {})
+		})
+	})
+	if !errors.Is(runErr, boom) {
+		t.Fatalf("run error = %v, want boom", runErr)
+	}
+	if n := c.outstandingBufs(); n != 0 {
+		t.Fatalf("aborted exchange leaked %d pooled batch buffers", n)
+	}
+}
+
+// cancelAfterStores cancels the run's context after a global number of
+// sink stores, from whichever rank gets there first.
+type cancelAfterStores struct {
+	inner  Sink
+	cancel context.CancelFunc
+	after  int64
+	n      int64
+}
+
+func (s *cancelAfterStores) Rank(rk *Rank) (RankSink, error) {
+	rs, err := s.inner.Rank(rk)
+	if err != nil {
+		return nil, err
+	}
+	return &cancelAfterRankSink{s: s, inner: rs}, nil
+}
+
+type cancelAfterRankSink struct {
+	s     *cancelAfterStores
+	inner RankSink
+}
+
+func (t *cancelAfterRankSink) Store(e graph.Edge) error {
+	if atomic.AddInt64(&t.s.n, 1) == t.s.after {
+		t.s.cancel()
+	}
+	return t.inner.Store(e)
+}
+
+func (t *cancelAfterRankSink) Close() error { return t.inner.Close() }
+
+// TestStatsConsistentWhenCancelledMidExchange asserts the per-rank
+// counters are never torn by teardown: whatever a cancelled run managed
+// to do, PerRankStored must equal what each rank's sink actually holds
+// and PerRankGenerated must sum to the global counter.
+func TestStatsConsistentWhenCancelledMidExchange(t *testing.T) {
+	a := gen.ER(20, 0.5, 61)
+	b := gen.ER(20, 0.5, 62)
+	const r = 4
+	plan, err := Plan1D(a, b, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mem := NewMemorySink(r)
+	sink := &cancelAfterStores{inner: mem, cancel: cancel, after: 1000}
+	var st Stats
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		var err error
+		st, err = Run(ctx, Config{Plan: plan, Owner: OwnerByEdge, Sink: sink})
+		return err
+	})
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("run error = %v, want context.Canceled", runErr)
+	}
+	if len(st.PerRankGenerated) != r || len(st.PerRankStored) != r {
+		t.Fatalf("per-rank slices missing on cancelled run: %+v", st)
+	}
+	var sumGen, sumStored int64
+	for rk := 0; rk < r; rk++ {
+		if g := st.PerRankGenerated[rk]; g < 0 {
+			t.Fatalf("rank %d: negative generated count %d", rk, g)
+		}
+		if got, counted := int64(len(mem.PerRank[rk])), st.PerRankStored[rk]; got != counted {
+			t.Fatalf("rank %d: sink holds %d edges but PerRankStored says %d (torn count)", rk, got, counted)
+		}
+		sumGen += st.PerRankGenerated[rk]
+		sumStored += st.PerRankStored[rk]
+	}
+	if sumGen != st.EdgesGenerated {
+		t.Fatalf("per-rank generated sums to %d, global counter %d", sumGen, st.EdgesGenerated)
+	}
+	if sumStored > sumGen {
+		t.Fatalf("stored %d edges but only generated %d", sumStored, sumGen)
+	}
+	if total := a.NumArcs() * b.NumArcs(); st.EdgesGenerated >= total {
+		t.Fatalf("cancellation did not stop expansion: %d of %d", st.EdgesGenerated, total)
+	}
+}
+
+// TestChaosReplayDeterministic pins the seeded-schedule property: the
+// same FaultPlan on a Reset cluster surfaces the same fault.
+func TestChaosReplayDeterministic(t *testing.T) {
+	a := gen.ER(8, 0.5, 71)
+	b := gen.ER(7, 0.5, 72)
+	plan, err := planFor(a, b, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := FaultPlan{Seed: 7, Link: LinkFault{DropProb: 1}, MaxRedeliver: 1}
+	for round := 0; round < 2; round++ {
+		runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+			_, err := Run(context.Background(), Config{
+				Plan: plan, Owner: OwnerBySource, Sink: NewMemorySink(3), Faults: &fp,
+			})
+			return err
+		})
+		if !errors.Is(runErr, ErrMessageLost) {
+			t.Fatalf("round %d: want ErrMessageLost, got %v", round, runErr)
+		}
+	}
+}

@@ -68,11 +68,17 @@ func maxOf(xs []int64) int64 {
 	return m
 }
 
-// Cluster is a simulated machine with R communicating ranks.
+// Cluster is a simulated machine with R communicating ranks. A cluster
+// is one-shot: it runs exactly one Run/RunContext (a second attempt
+// returns ErrClusterUsed), because an aborted run can leave cancelled
+// context state and stale inbox messages that would misroute batches
+// into a later exchange. Reset returns a finished cluster to a runnable
+// state by draining that residue.
 type Cluster struct {
 	r       int
 	inboxes []chan Message
 	stats   Stats
+	used    atomic.Bool
 
 	// Run context: cancelled (with cause) when any rank's body returns an
 	// error, so ranks blocked in Exchange tear down instead of waiting for
@@ -80,9 +86,17 @@ type Cluster struct {
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 
+	// faults, when non-nil, is the armed fault-injection schedule
+	// (see fault.go) consulted by the transport and the collectives.
+	faults *faultState
+
 	// bufPool recycles per-destination batch buffers between flushes so a
 	// long exchange allocates O(R + inflight) buffers, not O(messages).
+	// bufsOut counts buffers currently checked out; it must return to the
+	// number of stale inbox messages after teardown (zero after Reset),
+	// which is how the abort-path leak regression is asserted.
 	bufPool sync.Pool
+	bufsOut int64
 
 	barrierMu   sync.Mutex
 	barrierCond *sync.Cond
@@ -92,6 +106,11 @@ type Cluster struct {
 	reduceMu  sync.Mutex
 	reduceAcc int64
 }
+
+// ErrClusterUsed reports a second run on a one-shot cluster. Build a
+// fresh cluster per run, or call Reset to drain the previous run's
+// residue first.
+var ErrClusterUsed = errors.New("dist: cluster already ran; NewCluster or Reset before running again")
 
 // NewCluster returns a cluster of r ranks. Inbox channels are buffered so
 // the generate-then-drain pattern cannot deadlock as long as each rank
@@ -111,6 +130,45 @@ func NewCluster(r int) (*Cluster, error) {
 
 // Size returns the number of ranks.
 func (c *Cluster) Size() int { return c.r }
+
+// InjectFaults arms the cluster with a fault-injection schedule. It must
+// be called before the run starts; the schedule survives Reset (re-armed
+// from its seed, so a reset cluster replays it identically).
+func (c *Cluster) InjectFaults(plan FaultPlan) {
+	c.faults = newFaultState(plan, c.r)
+}
+
+// Reset returns a finished cluster to a runnable state: stale inbox
+// messages left behind by an aborted exchange are drained (their pooled
+// batch buffers recycled), traffic stats and collective state are
+// zeroed, any armed fault schedule is re-seeded, and a fresh run context
+// is installed. It must not be called concurrently with a run.
+func (c *Cluster) Reset() {
+	for _, ch := range c.inboxes {
+	drain:
+		for {
+			select {
+			case m := <-ch:
+				c.putBuf(m.Edges)
+			default:
+				break drain
+			}
+		}
+	}
+	c.stats = Stats{}
+	c.barrierMu.Lock()
+	c.barrierCnt, c.barrierGen = 0, 0
+	c.barrierMu.Unlock()
+	c.reduceMu.Lock()
+	c.reduceAcc = 0
+	c.reduceMu.Unlock()
+	if c.faults != nil {
+		c.faults.reset()
+	}
+	c.cancel(nil) // retire the previous run's context and its watcher
+	c.ctx, c.cancel = context.WithCancelCause(context.Background())
+	c.used.Store(false)
+}
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Cluster) Stats() Stats {
@@ -135,9 +193,21 @@ func (c *Cluster) Run(body func(rk *Rank) error) error {
 // error, or the external cancellation — is returned in preference to the
 // secondary context errors the other ranks observe.
 func (c *Cluster) RunContext(ctx context.Context, body func(rk *Rank) error) error {
+	if !c.used.CompareAndSwap(false, true) {
+		return ErrClusterUsed
+	}
 	ctx, cancel := context.WithCancelCause(ctx)
 	c.ctx, c.cancel = ctx, cancel
 	defer cancel(nil)
+	// Collective watcher: ranks parked in Barrier wait on a cond var,
+	// which context cancellation cannot reach directly — wake them when
+	// the run is torn down so they can observe the cause and return.
+	go func() {
+		<-ctx.Done()
+		c.barrierMu.Lock()
+		c.barrierCond.Broadcast()
+		c.barrierMu.Unlock()
+	}()
 	errs := make([]error, c.r)
 	var wg sync.WaitGroup
 	for id := 0; id < c.r; id++ {
@@ -165,6 +235,7 @@ func (c *Cluster) RunContext(ctx context.Context, body func(rk *Rank) error) err
 // getBuf returns an empty edge buffer with batchSize capacity, reusing a
 // recycled one when available.
 func (c *Cluster) getBuf() []graph.Edge {
+	atomic.AddInt64(&c.bufsOut, 1)
 	if v := c.bufPool.Get(); v != nil {
 		return v.([]graph.Edge)[:0]
 	}
@@ -174,9 +245,15 @@ func (c *Cluster) getBuf() []graph.Edge {
 // putBuf recycles a delivered batch buffer.
 func (c *Cluster) putBuf(s []graph.Edge) {
 	if cap(s) > 0 {
+		atomic.AddInt64(&c.bufsOut, -1)
 		c.bufPool.Put(s[:0]) //nolint:staticcheck // slice headers are cheap to box
 	}
 }
+
+// outstandingBufs reports pooled batch buffers currently checked out.
+// Once a run has torn down and Reset has drained stale inboxes it must
+// be zero — the pooled-buffer leak regression asserts exactly that.
+func (c *Cluster) outstandingBufs() int64 { return atomic.LoadInt64(&c.bufsOut) }
 
 // Rank is one simulated processor inside a Cluster.Run body.
 type Rank struct {
@@ -194,10 +271,47 @@ func (rk *Rank) Size() int { return rk.c.r }
 // or the RunContext caller's context is cancelled.
 func (rk *Rank) Context() context.Context { return rk.c.ctx }
 
-// send delivers a message to rank `to`, updating traffic counters. It
-// returns false without delivering when the run is cancelled — the
-// receiving rank may already be gone.
+// crashAt consults the armed fault schedule (if any) for a scheduled
+// crash of this rank at injection point p. The fast path is a nil check.
+func (rk *Rank) crashAt(p FaultPoint) error {
+	if rk.c.faults == nil {
+		return nil
+	}
+	return rk.c.faults.crash(rk.id, p)
+}
+
+// send delivers a message to rank `to`, applying any armed transport
+// faults and updating traffic counters. It returns false without
+// delivering when the run is cancelled, when the sending rank's
+// scheduled crash fires, or when the message exhausts its redelivery
+// budget — in the last two cases the run is first cancelled with the
+// fault as its cause, so the failure is loud rather than a silently
+// missing edge batch.
 func (rk *Rank) send(to int, m Message) bool {
+	c := rk.c
+	if f := c.faults; f != nil {
+		if err := f.crash(rk.id, FaultMidExchange); err != nil {
+			c.cancel(err)
+			return false
+		}
+		if to != rk.id {
+			ok, err := f.deliver(c.ctx, rk.id, to)
+			if err != nil {
+				c.cancel(err)
+				return false
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	// Refuse delivery on a torn-down run before even attempting it: the
+	// select below picks randomly among ready cases, and a buffered inbox
+	// on a dead run would strand the batch (and its pooled buffer) where
+	// no receiver will ever drain it.
+	if rk.c.ctx.Err() != nil {
+		return false
+	}
 	select {
 	case rk.c.inboxes[to] <- m:
 	case <-rk.c.ctx.Done():
@@ -224,40 +338,73 @@ func atomicMax(addr *int64, v int64) {
 	}
 }
 
-// Barrier blocks until all ranks have entered it.
-func (rk *Rank) Barrier() {
+// Barrier blocks until all ranks have entered it, or until the run is
+// torn down — a rank that dies before arriving would otherwise leave
+// every peer waiting on the cond var forever. Callers that must
+// distinguish completion from teardown use BarrierContext.
+func (rk *Rank) Barrier() { _ = rk.BarrierContext() }
+
+// BarrierContext is Barrier observing the run's cancellation: it returns
+// nil once all ranks have arrived, or the run's cancellation cause when
+// the run is torn down while waiting (that barrier generation can then
+// never complete). A rank that withdraws is un-counted, so the barrier
+// state stays consistent for Reset.
+func (rk *Rank) BarrierContext() error {
 	c := rk.c
+	if err := rk.crashAt(FaultInCollective); err != nil {
+		return err
+	}
 	c.barrierMu.Lock()
+	defer c.barrierMu.Unlock()
 	gen := c.barrierGen
 	c.barrierCnt++
 	if c.barrierCnt == c.r {
 		c.barrierCnt = 0
 		c.barrierGen++
 		c.barrierCond.Broadcast()
-	} else {
-		for gen == c.barrierGen {
-			c.barrierCond.Wait()
-		}
+		return nil
 	}
-	c.barrierMu.Unlock()
+	for gen == c.barrierGen {
+		if c.ctx.Err() != nil {
+			c.barrierCnt--
+			return context.Cause(c.ctx)
+		}
+		c.barrierCond.Wait()
+	}
+	return nil
 }
 
 // AllReduceSum adds v across all ranks and returns the total to each.
-// The barriers establish the happens-before edges that make the shared
-// accumulator race-free: all additions precede the first barrier, all
-// reads sit between the first and second, and the reset follows the
-// second.
+// Releases (with a meaningless partial total) when the run is torn down;
+// use AllReduceSumContext to observe the failure.
 func (rk *Rank) AllReduceSum(v int64) int64 {
+	total, _ := rk.AllReduceSumContext(v)
+	return total
+}
+
+// AllReduceSumContext adds v across all ranks and returns the total to
+// each, or the run's cancellation cause if the collective cannot
+// complete because the run was torn down. The barriers establish the
+// happens-before edges that make the shared accumulator race-free: all
+// additions precede the first barrier, all reads sit between the first
+// and second, and the reset follows the second.
+func (rk *Rank) AllReduceSumContext(v int64) (int64, error) {
 	c := rk.c
 	c.reduceMu.Lock()
 	c.reduceAcc += v
 	c.reduceMu.Unlock()
-	rk.Barrier()
+	if err := rk.BarrierContext(); err != nil {
+		return 0, err
+	}
 	total := c.reduceAcc
-	rk.Barrier()
+	if err := rk.BarrierContext(); err != nil {
+		return total, err
+	}
 	if rk.id == 0 {
 		c.reduceAcc = 0
 	}
-	rk.Barrier()
-	return total
+	if err := rk.BarrierContext(); err != nil {
+		return total, err
+	}
+	return total, nil
 }

@@ -107,6 +107,10 @@ type Config struct {
 	// with zero communication (count-only and streaming runs).
 	Owner OwnerFunc
 	Sink  Sink
+	// Faults, when non-nil, arms the run's cluster with an injected
+	// fault schedule (see fault.go) — chaos testing of the teardown and
+	// redelivery paths. Nil injects nothing.
+	Faults *FaultPlan
 }
 
 // Run executes the Plan→Expand→Route→Sink engine: every rank expands its
@@ -124,15 +128,21 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	if cfg.Faults != nil {
+		c.InjectFaults(*cfg.Faults)
+	}
 	perGen := make([]int64, p.R)
 	perStored := make([]int64, p.R)
 	runErr := c.RunContext(ctx, func(rk *Rank) error {
+		if err := rk.crashAt(FaultBeforeSinkSetup); err != nil {
+			return err
+		}
 		rs, err := cfg.Sink.Rank(rk)
 		if err != nil {
 			return fmt.Errorf("dist: rank %d sink: %w", rk.ID(), err)
 		}
 		var generated, stored int64
-		var sinkErr error
+		var sinkErr, crashErr error
 		// store hands one owned edge to the rank's sink. Under routing it
 		// runs on the exchange's receiver goroutine; sinkErr is read back
 		// only after Exchange returns (happens-before via its done
@@ -149,10 +159,18 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 			stored++
 		}
 		// expand streams this rank's tiles — the engine's Expand stage.
+		// A scheduled mid-expansion crash cancels the run immediately:
+		// a dead process stops sending, it does not flush EOF markers.
 		expand := func(yield func(e graph.Edge) bool) {
 			for _, t := range p.Tiles[rk.ID()] {
 				ok := true
 				core.StreamProductArcs(t.AArcs, t.B, func(u, v int64) bool {
+					if err := rk.crashAt(FaultMidExpansion); err != nil {
+						crashErr = err
+						rk.c.cancel(err)
+						ok = false
+						return false
+					}
 					generated++
 					ok = yield(graph.Edge{U: u, V: v})
 					return ok
@@ -196,11 +214,28 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		switch {
 		case sinkErr != nil:
 			return sinkErr
+		case crashErr != nil:
+			return crashErr
 		case xErr != nil:
 			return xErr
-		default:
+		case closeErr != nil:
 			return closeErr
 		}
+		// Teardown collective: every rank must report a balanced run
+		// before the engine declares success — an edge batch that went
+		// missing without an error would otherwise be a silent partial
+		// result. The reduce doubles as the in-collective fault
+		// injection point, and because a rank that died earlier never
+		// arrives, it completes for the survivors only through
+		// BarrierContext's cancellation awareness.
+		delta, rerr := rk.AllReduceSumContext(generated - stored)
+		if rerr != nil {
+			return rerr
+		}
+		if delta != 0 {
+			return fmt.Errorf("dist: run imbalance: %d generated edges unaccounted for across ranks", delta)
+		}
+		return nil
 	})
 	st := c.Stats()
 	st.PerRankGenerated = perGen

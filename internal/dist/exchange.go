@@ -85,6 +85,14 @@ func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge) bool), han
 	}
 	<-done
 	if aborted || c.ctx.Err() != nil {
+		// Nothing will deliver the staged batches now; recycle them or
+		// they leak from the pool on every aborted run.
+		for to := range buf {
+			if buf[to] != nil {
+				c.putBuf(buf[to])
+				buf[to] = nil
+			}
+		}
 		return context.Cause(c.ctx)
 	}
 	return nil

@@ -1,0 +1,189 @@
+package dist
+
+// Fault injection for the simulated cluster. At Sequoia scale the MPI
+// layer absorbs slow links, dropped packets and dying ranks; the paper's
+// validation workflow only trusts generated ground truth because every
+// such failure mode either completes correctly or fails loudly. A
+// FaultPlan arms the transport with exactly those faults — per-link
+// delivery delay, probabilistic message drop with bounded redelivery,
+// and rank crashes at the points a real job dies at — deterministically
+// for a given Seed, so a failing chaos schedule replays exactly.
+//
+// The invariant the chaos soak (chaos_test.go) asserts against armed
+// clusters is the verifiability contract: every run either produces the
+// exact reference edge set or returns the injected fault as its error —
+// no hangs, no partial silent success.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPoint identifies where in a run an injected rank crash fires.
+type FaultPoint int
+
+const (
+	// FaultNone disables crash injection (the zero value).
+	FaultNone FaultPoint = iota
+	// FaultBeforeSinkSetup crashes the rank before its sink is created.
+	FaultBeforeSinkSetup
+	// FaultMidExpansion crashes the rank while it expands its tiles.
+	FaultMidExpansion
+	// FaultMidExchange crashes the rank as it sends an exchange message.
+	FaultMidExchange
+	// FaultInCollective crashes the rank as it enters a collective.
+	FaultInCollective
+)
+
+func (p FaultPoint) String() string {
+	switch p {
+	case FaultNone:
+		return "none"
+	case FaultBeforeSinkSetup:
+		return "before-sink-setup"
+	case FaultMidExpansion:
+		return "mid-expansion"
+	case FaultMidExchange:
+		return "mid-exchange"
+	case FaultInCollective:
+		return "in-collective"
+	default:
+		return fmt.Sprintf("FaultPoint(%d)", int(p))
+	}
+}
+
+// RankCrashError is the loud failure a crashed rank reports. The run's
+// error chain carries it so callers can tell an injected (or simulated
+// real) rank death apart from ordinary cancellation.
+type RankCrashError struct {
+	Rank  int
+	Point FaultPoint
+}
+
+func (e *RankCrashError) Error() string {
+	return fmt.Sprintf("dist: rank %d crashed (%s)", e.Rank, e.Point)
+}
+
+// ErrMessageLost marks a message whose bounded redelivery budget was
+// exhausted. The transport cancels the run with it as the cause rather
+// than silently losing an edge batch — a lost batch must never look like
+// a successful generation with fewer edges.
+var ErrMessageLost = errors.New("dist: message lost")
+
+// Link names one directed rank-to-rank connection.
+type Link struct{ From, To int }
+
+// LinkFault describes the failure behavior of one link (or, as
+// FaultPlan.Link, the default for every cross-rank link).
+type LinkFault struct {
+	// MaxDelay makes each delivery sleep a seeded-random duration in
+	// [0, MaxDelay] before entering the destination inbox.
+	MaxDelay time.Duration
+	// DropProb is the probability that each delivery attempt is dropped.
+	DropProb float64
+}
+
+// FaultPlan is a deterministic schedule of transport and rank faults for
+// one cluster run. The zero value injects nothing. Arm a cluster with
+// Cluster.InjectFaults (or an engine run with Config.Faults) before the
+// run starts; Cluster.Reset re-arms the schedule from its seed.
+type FaultPlan struct {
+	// Seed drives every probabilistic decision (delays and drops), keyed
+	// additionally by the sending rank so schedules stay deterministic
+	// under concurrency.
+	Seed int64
+
+	// Link is the default fault behavior of every cross-rank link.
+	// Self-deliveries are never faulted: local delivery does not
+	// traverse the network.
+	Link LinkFault
+	// Links overrides Link for specific directed links.
+	Links map[Link]LinkFault
+	// MaxRedeliver bounds retries after a dropped delivery attempt.
+	// When all 1+MaxRedeliver attempts drop, the message is declared
+	// lost and the run fails with ErrMessageLost as its cause.
+	MaxRedeliver int
+
+	// CrashRank and CrashPoint schedule one rank death; CrashPoint ==
+	// FaultNone disables it. CrashAfter is how many hits of the point
+	// the rank survives before dying (0 = die at the first hit).
+	CrashRank  int
+	CrashPoint FaultPoint
+	CrashAfter int64
+}
+
+// faultState is the armed form of a FaultPlan inside a Cluster.
+type faultState struct {
+	plan FaultPlan
+	// rngs are per sending rank and touched only by that rank's body
+	// goroutine (the only goroutine that sends), so no locking is needed.
+	rngs      []*rand.Rand
+	crashLeft int64 // atomic countdown to the scheduled crash
+}
+
+func newFaultState(plan FaultPlan, r int) *faultState {
+	s := &faultState{plan: plan, rngs: make([]*rand.Rand, r)}
+	s.reset()
+	return s
+}
+
+// reset re-seeds the rngs and the crash countdown so a Reset cluster
+// replays the identical fault schedule.
+func (s *faultState) reset() {
+	for i := range s.rngs {
+		s.rngs[i] = rand.New(rand.NewSource(s.plan.Seed*0x9e3779b9 + int64(i)))
+	}
+	atomic.StoreInt64(&s.crashLeft, s.plan.CrashAfter+1)
+}
+
+// crash reports the scheduled RankCrashError when rank hits the armed
+// injection point, nil otherwise.
+func (s *faultState) crash(rank int, p FaultPoint) error {
+	if s.plan.CrashPoint != p || s.plan.CrashRank != rank {
+		return nil
+	}
+	if atomic.AddInt64(&s.crashLeft, -1) > 0 {
+		return nil
+	}
+	return &RankCrashError{Rank: rank, Point: p}
+}
+
+func (s *faultState) linkFor(from, to int) LinkFault {
+	if lf, ok := s.plan.Links[Link{From: from, To: to}]; ok {
+		return lf
+	}
+	return s.plan.Link
+}
+
+// deliver applies link faults to one cross-rank message: a seeded delay
+// (interruptible by run teardown) followed by drop/redelivery. It
+// reports whether delivery should proceed; a non-nil error is a
+// permanent loss after the redelivery budget ran out.
+func (s *faultState) deliver(ctx context.Context, from, to int) (bool, error) {
+	lf := s.linkFor(from, to)
+	rng := s.rngs[from]
+	if lf.MaxDelay > 0 {
+		if d := time.Duration(rng.Int63n(int64(lf.MaxDelay) + 1)); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return false, nil
+			}
+		}
+	}
+	if lf.DropProb > 0 {
+		for attempt := 0; rng.Float64() < lf.DropProb; attempt++ {
+			if attempt >= s.plan.MaxRedeliver {
+				return false, fmt.Errorf("dist: message %d→%d dropped %d times, redelivery budget %d exhausted: %w",
+					from, to, attempt+1, s.plan.MaxRedeliver, ErrMessageLost)
+			}
+		}
+	}
+	return true, nil
+}

@@ -188,7 +188,13 @@ func (t *streamRankSink) flush() error {
 }
 
 // Close performs the final flush; its result is propagated so a batch
-// dropped at teardown is reported rather than silently counted.
+// dropped at teardown is reported rather than silently counted. On the
+// abort path the undelivered batch is recycled instead of leaking.
 func (t *streamRankSink) Close() error {
-	return t.flush()
+	err := t.flush()
+	if err != nil && t.buf != nil {
+		t.s.recycle(t.buf)
+		t.buf = nil
+	}
+	return err
 }

@@ -25,8 +25,10 @@ const DefaultStreamBatch = 1024
 // edge order; the batch slice is recycled after emit returns and must not
 // be retained. Stream stops early when ctx is cancelled or emit returns an
 // error; either way the expander ranks are torn down before Stream
-// returns. Stats counters follow the Generate* conventions, with every
-// delivered edge accounted as routed traffic to the consumer.
+// returns — every failure mode completes or errors, never hangs (see
+// DESIGN.md §3a, "Failure semantics"). Stats counters follow the
+// Generate* conventions, with every delivered edge accounted as routed
+// traffic to the consumer.
 func Stream(ctx context.Context, a, b *graph.Graph, r int, twoD bool, batch int, emit func([]graph.Edge) error) (Stats, error) {
 	if r < 1 {
 		return Stats{}, fmt.Errorf("dist: stream needs ≥ 1 rank, got %d", r)

@@ -93,6 +93,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Kronlab-Factors", fmt.Sprintf("%s,%s", hashA, hashB))
 
 	bw := bufio.NewWriterSize(w, 1<<16)
+	flusher, _ := w.(http.Flusher)
 	var written int64
 	var rec [store.RecordSize]byte
 	emit := func(batch []graph.Edge) error {
@@ -111,6 +112,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 				return err // client went away; Stream tears down the expanders
 			}
 			written++
+		}
+		// Flush per batch so the stream reaches the client while the
+		// generator is still running; a long product otherwise sits in
+		// bufio and the response buffers until the run completes.
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
 		}
 		return nil
 	}

@@ -126,6 +126,16 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
+// Flush passes http.Flusher through the wrapper. Without it the recorder
+// hides the underlying connection's Flusher from handlers, so generation
+// streams buffer server-side until the run completes instead of reaching
+// the client incrementally.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with request counting and latency tracking
 // under the given route label.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {

@@ -425,3 +425,70 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// flushRecorder is a ResponseWriter that implements http.Flusher and
+// records when flushes happen relative to the bytes written — the probe
+// for incremental stream delivery.
+type flushRecorder struct {
+	header            http.Header
+	status            int
+	body              bytes.Buffer
+	flushes           int
+	bytesAtFirstFlush int
+}
+
+func (f *flushRecorder) Header() http.Header {
+	if f.header == nil {
+		f.header = make(http.Header)
+	}
+	return f.header
+}
+
+func (f *flushRecorder) Write(p []byte) (int, error) { return f.body.Write(p) }
+
+func (f *flushRecorder) WriteHeader(code int) { f.status = code }
+
+func (f *flushRecorder) Flush() {
+	f.flushes++
+	if f.flushes == 1 {
+		f.bytesAtFirstFlush = f.body.Len()
+	}
+}
+
+// TestGenerateFlushesIncrementally is the streaming regression: the
+// instrumentation wrapper used to hide http.Flusher from handleGenerate,
+// and the handler only flushed once at end of stream, so a long product
+// buffered server-side in its entirety. The response must reach the
+// client in increments while generation is still running.
+func TestGenerateFlushesIncrementally(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	a := gen.ER(20, 0.5, 31)
+	b := gen.ER(20, 0.5, 32)
+	ha := registerText(t, ts, a, "")
+	hb := registerText(t, ts, b, "")
+	wantArcs := a.NumArcs() * b.NumArcs() // ~40k edges, dozens of batches
+
+	// Drive the full handler chain (instrument → admitted → generate) so
+	// the Flush passthrough on the wrapping ResponseWriter is exercised.
+	rec := &flushRecorder{}
+	req := httptest.NewRequest("GET", fmt.Sprintf("/gen/%s/%s/edges", ha, hb), nil)
+	s.ServeHTTP(rec, req)
+
+	if rec.status != 0 && rec.status != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.status, rec.body.Bytes())
+	}
+	lines := bytes.Count(rec.body.Bytes(), []byte("\n"))
+	if int64(lines) != wantArcs {
+		t.Fatalf("streamed %d edges, want %d", lines, wantArcs)
+	}
+	if rec.flushes < 2 {
+		t.Fatalf("stream flushed %d times; want ≥ 2 (incremental delivery)", rec.flushes)
+	}
+	if rec.bytesAtFirstFlush == 0 {
+		t.Fatal("first flush carried no bytes: stream is not reaching the client incrementally")
+	}
+	if rec.bytesAtFirstFlush >= rec.body.Len() {
+		t.Fatalf("first flush only happened at end of stream (%d of %d bytes)",
+			rec.bytesAtFirstFlush, rec.body.Len())
+	}
+}
