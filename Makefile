@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench clean
+.PHONY: all build test race vet fmt-check bench clean recovery-soak lint
 
 all: build test
 
@@ -23,6 +23,21 @@ fmt-check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+# Supervised-recovery soak: the crash-then-recover, reassignment and
+# epoch-fencing suites under the race detector, mirroring the CI job.
+recovery-soak:
+	$(GO) test -race -count 1 -timeout 6m -run 'Recover|Respawn|Epoch' ./internal/dist/
+
+# Lint the concurrency-heavy dist package. staticcheck is optional
+# locally (CI installs a pinned version); vet always runs.
+lint:
+	$(GO) vet ./internal/dist/
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./internal/dist/; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
 # Runs every Benchmark* suite with -benchmem and writes the go test -json

@@ -12,17 +12,30 @@
 //	-max-queue      queued heavy requests before 429 (default 4×inflight)
 //	-cache-mb       factor summary cache budget in MiB (default 256)
 //	-timeout        per ground-truth request timeout (default 30s)
+//	-gen-timeout    per generation stream timeout (default 5m)
+//	-gen-retries    supervised-recovery budget for generation runs (default 1)
 //	-max-upload-mb  factor upload size cap in MiB (default 64)
 //	-max-ranks      cap on the ranks= generation parameter (default 64)
+//	-drain          graceful shutdown deadline after SIGTERM/SIGINT (default 15s)
+//
+// On SIGTERM or SIGINT the server drains: new heavy requests get 503,
+// in-flight generation streams are cancelled and finish with a clean
+// X-Kronlab-Complete trailer, and the listener shuts down via
+// http.Server.Shutdown bounded by -drain before the process exits.
 //
 // See README.md §Serving for the endpoint reference and a curl
 // quickstart.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kronlab/internal/serve"
@@ -34,8 +47,11 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "queued heavy requests before 429 (0 = 4×inflight)")
 	cacheMB := flag.Int64("cache-mb", 256, "summary cache budget in MiB")
 	timeout := flag.Duration("timeout", 30*time.Second, "ground-truth request timeout")
+	genTimeout := flag.Duration("gen-timeout", 5*time.Minute, "generation stream timeout")
+	genRetries := flag.Int("gen-retries", 1, "supervised-recovery budget for generation runs (negative disables)")
 	uploadMB := flag.Int64("max-upload-mb", 64, "factor upload cap in MiB")
 	maxRanks := flag.Int("max-ranks", 64, "cap on the ranks= generation parameter")
+	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown deadline after SIGTERM/SIGINT")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -43,6 +59,8 @@ func main() {
 		MaxQueue:       *maxQueue,
 		CacheBytes:     *cacheMB << 20,
 		RequestTimeout: *timeout,
+		GenTimeout:     *genTimeout,
+		GenRetries:     *genRetries,
 		MaxUploadBytes: *uploadMB << 20,
 		MaxRanks:       *maxRanks,
 	})
@@ -51,6 +69,33 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
 	log.Printf("kronserve listening on %s", *addr)
-	log.Fatal(hs.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new heavy work and cancel running generation streams
+	// (they finish with a clean trailer), then let Shutdown wait for the
+	// remaining handlers up to the deadline before cutting connections.
+	log.Printf("kronserve draining (deadline %s)", *drain)
+	srv.BeginShutdown()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("kronserve shutdown: %v; closing remaining connections", err)
+		_ = hs.Close()
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("kronserve listener: %v", err)
+	}
+	log.Printf("kronserve stopped")
 }

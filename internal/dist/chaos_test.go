@@ -448,8 +448,16 @@ func (t *cancelAfterRankSink) Close() error { return t.inner.Close() }
 // to do, PerRankStored must equal what each rank's sink actually holds
 // and PerRankGenerated must sum to the global counter.
 func TestStatsConsistentWhenCancelledMidExchange(t *testing.T) {
-	a := gen.ER(20, 0.5, 61)
-	b := gen.ER(20, 0.5, 62)
+	// The product must exceed the cluster's total buffering capacity —
+	// r inboxes of 4r+16 messages × batchSize edges plus the producers'
+	// staged batches (~148k edges at r=4) — or producers could finish
+	// the whole expansion into the inboxes before a starved receiver
+	// stores the edge that triggers cancellation, and the "expansion
+	// stopped" assertion below would be a scheduling coin flip. At ~192k
+	// edges the senders must block, receivers must drain, and the cancel
+	// at 1000 stores always lands mid-run.
+	a := gen.ER(30, 0.5, 61)
+	b := gen.ER(30, 0.5, 62)
 	const r = 4
 	plan, err := Plan1D(a, b, r)
 	if err != nil {
@@ -513,5 +521,393 @@ func TestChaosReplayDeterministic(t *testing.T) {
 		if !errors.Is(runErr, ErrMessageLost) {
 			t.Fatalf("round %d: want ErrMessageLost, got %v", round, runErr)
 		}
+	}
+}
+
+// --- Supervised recovery -------------------------------------------------
+//
+// The tests below flip the chaos contract for recoverable schedules: with
+// Recovery armed, a run must produce the exact reference edge set
+// *despite* the injected fault — bounded retries, exactly-once sinks, no
+// buffer leaks — and exhausting the budget must degrade to the loud
+// failure the unsupervised engine reports.
+
+// mergedArcs flattens a MemorySink's per-rank slices.
+func mergedArcs(ms *MemorySink) []graph.Edge {
+	var arcs []graph.Edge
+	for _, s := range ms.PerRank {
+		arcs = append(arcs, s...)
+	}
+	return arcs
+}
+
+// assertExact rebuilds a graph from arcs and compares it to the reference.
+func assertExact(t *testing.T, nC int64, arcs []graph.Edge, want *graph.Graph) {
+	t.Helper()
+	g, err := graph.New(nC, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("recovered run's edge set differs from reference")
+	}
+}
+
+// TestRecoverCrashEachPoint crashes one rank at each injection point and
+// asserts the supervised run still delivers the exact product, with the
+// retry surfaced in Stats and every pooled buffer returned.
+func TestRecoverCrashEachPoint(t *testing.T) {
+	a := gen.ER(6, 0.5, 201).WithFullSelfLoops()
+	b := gen.PrefAttach(5, 2, 202)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nC := a.NumVertices() * b.NumVertices()
+
+	points := []FaultPoint{FaultBeforeSinkSetup, FaultMidExpansion, FaultMidExchange, FaultInCollective}
+	for pi, point := range points {
+		for _, routed := range []bool{true, false} {
+			if point == FaultMidExchange && !routed {
+				continue // unrouted runs never send, the point is unreachable
+			}
+			point, routed := point, routed
+			twoD := pi%2 == 1
+			name := fmt.Sprintf("%s_%s_%s", point,
+				map[bool]string{false: "1d", true: "2d"}[twoD],
+				map[bool]string{false: "unrouted", true: "routed"}[routed])
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				const r = 3
+				plan, err := planFor(a, b, r, twoD)
+				if err != nil {
+					t.Fatal(err)
+				}
+				crash := CrashSpec{Rank: 1, Point: point}
+				if point == FaultMidExpansion {
+					rank, work := plannedWork(plan)
+					crash.Rank, crash.After = rank, work/2
+				}
+				ms := NewMemorySink(r)
+				cfg := Config{
+					Plan:     plan,
+					Sink:     ms,
+					Faults:   &FaultPlan{Seed: int64(300 + pi), Crashes: []CrashSpec{crash}},
+					Recovery: Recovery{MaxRetries: 2, Backoff: time.Millisecond},
+				}
+				if routed {
+					cfg.Owner = OwnerByEdge
+				}
+				var st Stats
+				runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+					var err error
+					st, err = Run(context.Background(), cfg)
+					return err
+				})
+				if runErr != nil {
+					t.Fatalf("supervised run failed despite retry budget: %v", runErr)
+				}
+				assertExact(t, nC, mergedArcs(ms), want)
+				if got := st.TotalRetries(); got < 1 || got > 2 {
+					t.Fatalf("TotalRetries = %d, want 1..2", got)
+				}
+				if st.RetriesPerRank[crash.Rank] == 0 {
+					t.Fatalf("retry not attributed to crashed rank %d: %v", crash.Rank, st.RetriesPerRank)
+				}
+				if st.RecoveredRuns != 1 {
+					t.Fatalf("RecoveredRuns = %d, want 1", st.RecoveredRuns)
+				}
+				if st.OutstandingBufs != 0 {
+					t.Fatalf("recovered run leaked %d pooled buffers", st.OutstandingBufs)
+				}
+			})
+		}
+	}
+}
+
+// TestRecoverLostBatch schedules one deterministic permanent message loss
+// and asserts the supervised replay gets the batch through, blaming the
+// sending rank for the retry.
+func TestRecoverLostBatch(t *testing.T) {
+	a := gen.ER(7, 0.5, 211)
+	b := gen.ER(6, 0.5, 212)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 3
+	plan, err := Plan1D(a, b, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMemorySink(r)
+	var st Stats
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		var err error
+		st, err = Run(context.Background(), Config{
+			Plan: plan, Owner: OwnerBySource, Sink: ms,
+			Faults:   &FaultPlan{Seed: 213, LoseAfter: 2, LoseDeliveries: 1},
+			Recovery: Recovery{MaxRetries: 1, Backoff: time.Millisecond},
+		})
+		return err
+	})
+	if runErr != nil {
+		t.Fatalf("supervised run failed despite retry budget: %v", runErr)
+	}
+	assertExact(t, a.NumVertices()*b.NumVertices(), mergedArcs(ms), want)
+	if st.TotalRetries() != 1 || st.RecoveredRuns != 1 {
+		t.Fatalf("want exactly one recovering retry, got retries=%d recovered=%d",
+			st.TotalRetries(), st.RecoveredRuns)
+	}
+	if st.OutstandingBufs != 0 {
+		t.Fatalf("recovered run leaked %d pooled buffers", st.OutstandingBufs)
+	}
+}
+
+// TestRecoverCrashPlusLostBatch is the acceptance scenario: one rank
+// crashes mid-expansion AND one batch is permanently dropped, and the
+// supervised run still completes with the exact core.Product edge set,
+// retry stats > 0 and no buffer leaks.
+func TestRecoverCrashPlusLostBatch(t *testing.T) {
+	a := gen.ER(8, 0.5, 221).WithFullSelfLoops()
+	b := gen.PrefAttach(6, 2, 222)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 4
+	plan, err := planFor(a, b, r, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, work := plannedWork(plan)
+	ms := NewMemorySink(r)
+	var st Stats
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		var err error
+		st, err = Run(context.Background(), Config{
+			Plan: plan, Owner: OwnerByEdge, Sink: ms,
+			Faults: &FaultPlan{
+				Seed:      223,
+				Crashes:   []CrashSpec{{Rank: rank, Point: FaultMidExpansion, After: work / 2}},
+				LoseAfter: 1, LoseDeliveries: 1,
+			},
+			Recovery: Recovery{MaxRetries: 3, Backoff: time.Millisecond},
+		})
+		return err
+	})
+	if runErr != nil {
+		t.Fatalf("double-fault schedule failed despite retry budget: %v", runErr)
+	}
+	assertExact(t, a.NumVertices()*b.NumVertices(), mergedArcs(ms), want)
+	if got := st.TotalRetries(); got < 1 || got > 3 {
+		t.Fatalf("TotalRetries = %d, want 1..3 (bounded by budget)", got)
+	}
+	if st.RecoveredRuns != 1 {
+		t.Fatalf("RecoveredRuns = %d, want 1", st.RecoveredRuns)
+	}
+	if st.OutstandingBufs != 0 {
+		t.Fatalf("recovered run leaked %d pooled buffers", st.OutstandingBufs)
+	}
+}
+
+// TestRecoverExhaustedBudgetStaysLoud pins the degradation contract: a
+// permanently broken rank (Repeat crash) without reassignment exhausts
+// MaxRetries and the run returns the injected fault exactly like an
+// unsupervised one — loudly, with no silent partial output.
+func TestRecoverExhaustedBudgetStaysLoud(t *testing.T) {
+	a := gen.ER(6, 0.5, 231)
+	b := gen.ER(6, 0.5, 232)
+	const r = 3
+	plan, err := Plan1D(a, b, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMemorySink(r)
+	var st Stats
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		var err error
+		st, err = Run(context.Background(), Config{
+			Plan: plan, Owner: OwnerBySource, Sink: ms,
+			Faults:   &FaultPlan{Seed: 233, Crashes: []CrashSpec{{Rank: 1, Point: FaultMidExpansion, Repeat: true}}},
+			Recovery: Recovery{MaxRetries: 2, Backoff: time.Millisecond},
+		})
+		return err
+	})
+	var ce *RankCrashError
+	if !errors.As(runErr, &ce) || ce.Rank != 1 || ce.Point != FaultMidExpansion {
+		t.Fatalf("want the injected RankCrashError after budget exhaustion, got %v", runErr)
+	}
+	if got := st.TotalRetries(); got != 2 {
+		t.Fatalf("TotalRetries = %d, want the full budget of 2", got)
+	}
+	if st.RecoveredRuns != 0 {
+		t.Fatalf("RecoveredRuns = %d on a failed run", st.RecoveredRuns)
+	}
+	if st.OutstandingBufs != 0 {
+		t.Fatalf("failed supervised run leaked %d pooled buffers", st.OutstandingBufs)
+	}
+}
+
+// TestRespawnReassignBrokenRank: the same permanently broken rank is
+// survivable once Reassign moves its tiles to the survivors — the broken
+// rank keeps participating in the exchange and collectives, it just never
+// expands again.
+func TestRespawnReassignBrokenRank(t *testing.T) {
+	a := gen.ER(6, 0.5, 241).WithFullSelfLoops()
+	b := gen.PrefAttach(6, 2, 242)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 4
+	plan, err := planFor(a, b, r, true) // 2D: several tiles per rank to move
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMemorySink(r)
+	var st Stats
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		var err error
+		st, err = Run(context.Background(), Config{
+			Plan: plan, Owner: OwnerByEdge, Sink: ms,
+			Faults:   &FaultPlan{Seed: 243, Crashes: []CrashSpec{{Rank: 2, Point: FaultMidExpansion, Repeat: true}}},
+			Recovery: Recovery{MaxRetries: 2, Backoff: time.Millisecond, Reassign: true},
+		})
+		return err
+	})
+	if runErr != nil {
+		t.Fatalf("reassignment should mask the broken rank, got %v", runErr)
+	}
+	assertExact(t, a.NumVertices()*b.NumVertices(), mergedArcs(ms), want)
+	if st.TilesReassigned == 0 {
+		t.Fatal("no tiles reassigned off the broken rank")
+	}
+	if st.RecoveredRuns != 1 || st.TotalRetries() < 1 {
+		t.Fatalf("recovery not surfaced: retries=%d recovered=%d", st.TotalRetries(), st.RecoveredRuns)
+	}
+	if st.OutstandingBufs != 0 {
+		t.Fatalf("recovered run leaked %d pooled buffers", st.OutstandingBufs)
+	}
+}
+
+// TestEpochFencingDropsStaleBatch forges a batch from a stale epoch into
+// an inbox and asserts the receiver's fence drops it whole — counted in
+// Stats, buffer recycled, edges never delivered.
+func TestEpochFencingDropsStaleBatch(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.epoch = 5
+	stale := c.getBuf()
+	stale = append(stale, graph.Edge{U: 9, V: 9})
+	c.inboxes[1] <- Message{From: 0, Epoch: 3, Edges: stale}
+
+	received := make([][]graph.Edge, 2)
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		return c.Run(func(rk *Rank) error {
+			var got []graph.Edge
+			err := rk.Exchange(func(emit func(to int, e graph.Edge) bool) {
+				for to := 0; to < 2; to++ {
+					emit(to, graph.Edge{U: int64(rk.ID()), V: int64(to)})
+				}
+			}, func(e graph.Edge) { got = append(got, e) })
+			received[rk.ID()] = got
+			return err
+		})
+	})
+	if runErr != nil {
+		t.Fatalf("exchange failed: %v", runErr)
+	}
+	for id, got := range received {
+		if len(got) != 2 {
+			t.Fatalf("rank %d received %d edges, want 2: %v", id, len(got), got)
+		}
+		for _, e := range got {
+			if e.U == 9 && e.V == 9 {
+				t.Fatalf("rank %d received the stale-epoch batch: %v", id, got)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.StaleBatches != 1 {
+		t.Fatalf("StaleBatches = %d, want 1", st.StaleBatches)
+	}
+	if st.OutstandingBufs != 0 {
+		t.Fatalf("stale batch's pooled buffer not recycled: %d outstanding", st.OutstandingBufs)
+	}
+}
+
+// TestRecoverSoak sweeps seeded crash-then-recover schedules — every
+// injection point, single and double faults, 1D/2D, routed and unrouted —
+// asserting the exact edge set and a retry count bounded by the budget.
+func TestRecoverSoak(t *testing.T) {
+	a := gen.ER(6, 0.5, 251).WithFullSelfLoops()
+	b := gen.PrefAttach(5, 2, 252)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nC := a.NumVertices() * b.NumVertices()
+
+	const schedules = 24
+	for i := 0; i < schedules; i++ {
+		i := i
+		point := []FaultPoint{FaultBeforeSinkSetup, FaultMidExpansion, FaultMidExchange, FaultInCollective}[i%4]
+		r := 2 + i%3
+		twoD := (i/4)%2 == 1
+		routed := point == FaultMidExchange || (i/8)%2 == 0
+		doubleFault := routed && i%3 == 0
+		const budget = 4
+
+		plan, err := planFor(a, b, r, twoD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crash := CrashSpec{Rank: i % r, Point: point, After: int64(i % 2)}
+		if point == FaultMidExpansion {
+			rank, work := plannedWork(plan)
+			if work <= crash.After {
+				crash.After = 0
+			}
+			crash.Rank = rank
+		}
+		fp := &FaultPlan{Seed: int64(400 + i), Crashes: []CrashSpec{crash}}
+		if doubleFault {
+			fp.LoseAfter, fp.LoseDeliveries = int64(1+i%3), 1
+		}
+		ms := NewMemorySink(r)
+		cfg := Config{
+			Plan: plan, Sink: ms, Faults: fp,
+			Recovery: Recovery{MaxRetries: budget, Backoff: time.Millisecond},
+		}
+		if routed {
+			cfg.Owner = OwnerByEdge
+		}
+
+		name := fmt.Sprintf("%02d_%s_r%d_%s_%s%s", i, crash.Point, r,
+			map[bool]string{false: "1d", true: "2d"}[twoD],
+			map[bool]string{false: "unrouted", true: "routed"}[routed],
+			map[bool]string{false: "", true: "_lossy"}[doubleFault])
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var st Stats
+			runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+				var err error
+				st, err = Run(context.Background(), cfg)
+				return err
+			})
+			if runErr != nil {
+				t.Fatalf("recoverable schedule failed: %v", runErr)
+			}
+			assertExact(t, nC, mergedArcs(ms), want)
+			if got := st.TotalRetries(); got > budget {
+				t.Fatalf("TotalRetries = %d exceeds budget %d", got, budget)
+			}
+			if st.OutstandingBufs != 0 {
+				t.Fatalf("schedule leaked %d pooled buffers", st.OutstandingBufs)
+			}
+		})
 	}
 }

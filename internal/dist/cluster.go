@@ -28,9 +28,15 @@ import (
 const edgeWireBytes = 16
 
 // Message is a batch of edges sent between ranks; eof marks the end of the
-// sender's stream for the current exchange.
+// sender's stream for the current exchange. Epoch is the run attempt the
+// batch belongs to (stamped by send, checked by the receiver's epoch
+// fence); Tile is the plan tile that produced every edge in the batch —
+// exchangeTiles flushes at tile boundaries so a batch never mixes tiles,
+// which is what lets recovering sinks deduplicate per tile stream.
 type Message struct {
 	From  int
+	Epoch int64
+	Tile  int
 	Edges []graph.Edge
 	EOF   bool
 }
@@ -45,9 +51,32 @@ type Stats struct {
 	BytesSent      int64 // edgeWireBytes per routed edge
 	Messages       int64 // batches sent (including EOF markers)
 	MaxInboxDepth  int64 // deepest observed inbox backlog, in messages
+	StaleBatches   int64 // batches dropped by the receiver's epoch fence
 
 	PerRankGenerated []int64 // edges expanded by each rank (engine runs)
 	PerRankStored    []int64 // edges stored by each rank's sink (engine runs)
+
+	// Supervised-recovery counters (populated by supervise; zero on
+	// unsupervised runs). EdgesGenerated/PerRankGenerated then include
+	// replayed expansion work, while stored counts remain exactly-once.
+	RetriesPerRank    []int64 // attempts re-run, attributed to the faulty rank
+	TilesReassigned   int64   // tiles moved off a crashed rank to survivors
+	RecoveredRuns     int64   // 1 when the run succeeded only after retries
+	DuplicatesSkipped int64   // replayed edges suppressed by checkpoint fencing
+
+	// OutstandingBufs snapshots pooled batch buffers still checked out.
+	// A clean (or supervised-and-drained) run ends at 0; the chaos suite
+	// asserts it as the buffer-leak probe.
+	OutstandingBufs int64
+}
+
+// TotalRetries sums the per-rank retry counts.
+func (st Stats) TotalRetries() int64 {
+	var t int64
+	for _, r := range st.RetriesPerRank {
+		t += r
+	}
+	return t
 }
 
 // MaxGenerated returns the largest per-rank generated count, or 0 when
@@ -79,6 +108,12 @@ type Cluster struct {
 	inboxes []chan Message
 	stats   Stats
 	used    atomic.Bool
+
+	// epoch is the current run attempt, stamped on every outgoing
+	// message and checked by the receiver's epoch fence. Written by the
+	// supervisor strictly between attempts (happens-before the rank
+	// goroutines via RunContext's spawn), read by rank goroutines.
+	epoch int64
 
 	// Run context: cancelled (with cause) when any rank's body returns an
 	// error, so ranks blocked in Exchange tear down instead of waiting for
@@ -132,8 +167,11 @@ func NewCluster(r int) (*Cluster, error) {
 func (c *Cluster) Size() int { return c.r }
 
 // InjectFaults arms the cluster with a fault-injection schedule. It must
-// be called before the run starts; the schedule survives Reset (re-armed
-// from its seed, so a reset cluster replays it identically).
+// be called before the run starts. The schedule survives Reset: its
+// probabilistic faults are re-seeded (so a reset cluster replays delays
+// and drops identically), while one-shot faults — crash countdowns and
+// the scheduled-loss window — keep their lifetime counters, so a
+// supervised replay does not re-suffer a fault that already fired.
 func (c *Cluster) InjectFaults(plan FaultPlan) {
 	c.faults = newFaultState(plan, c.r)
 }
@@ -141,8 +179,9 @@ func (c *Cluster) InjectFaults(plan FaultPlan) {
 // Reset returns a finished cluster to a runnable state: stale inbox
 // messages left behind by an aborted exchange are drained (their pooled
 // batch buffers recycled), traffic stats and collective state are
-// zeroed, any armed fault schedule is re-seeded, and a fresh run context
-// is installed. It must not be called concurrently with a run.
+// zeroed, any armed fault schedule is re-seeded (see InjectFaults for
+// what survives), and a fresh run context is installed. It must not be
+// called concurrently with a run.
 func (c *Cluster) Reset() {
 	for _, ch := range c.inboxes {
 	drain:
@@ -173,11 +212,13 @@ func (c *Cluster) Reset() {
 // Stats returns a snapshot of the traffic counters.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		EdgesGenerated: atomic.LoadInt64(&c.stats.EdgesGenerated),
-		EdgesRouted:    atomic.LoadInt64(&c.stats.EdgesRouted),
-		BytesSent:      atomic.LoadInt64(&c.stats.BytesSent),
-		Messages:       atomic.LoadInt64(&c.stats.Messages),
-		MaxInboxDepth:  atomic.LoadInt64(&c.stats.MaxInboxDepth),
+		EdgesGenerated:  atomic.LoadInt64(&c.stats.EdgesGenerated),
+		EdgesRouted:     atomic.LoadInt64(&c.stats.EdgesRouted),
+		BytesSent:       atomic.LoadInt64(&c.stats.BytesSent),
+		Messages:        atomic.LoadInt64(&c.stats.Messages),
+		MaxInboxDepth:   atomic.LoadInt64(&c.stats.MaxInboxDepth),
+		StaleBatches:    atomic.LoadInt64(&c.stats.StaleBatches),
+		OutstandingBufs: atomic.LoadInt64(&c.bufsOut),
 	}
 }
 
@@ -289,6 +330,7 @@ func (rk *Rank) crashAt(p FaultPoint) error {
 // missing edge batch.
 func (rk *Rank) send(to int, m Message) bool {
 	c := rk.c
+	m.Epoch = c.epoch
 	if f := c.faults; f != nil {
 		if err := f.crash(rk.id, FaultMidExchange); err != nil {
 			c.cancel(err)

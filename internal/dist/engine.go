@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"kronlab/internal/core"
 	"kronlab/internal/graph"
@@ -11,15 +12,25 @@ import (
 
 // Tile is one unit of expansion work: a slice of A-arcs crossed with a
 // B-factor (the whole of B under 1D partitioning, a B-part under 2D).
+// ID is the tile's plan-wide identity: it is stable across run attempts
+// and across reassignment to another rank, which is what checkpoints and
+// the exactly-once sink fence key on.
 type Tile struct {
+	ID    int
 	AArcs []graph.Edge
 	B     *graph.Graph
 }
 
+// Arcs returns the number of product arcs the tile expands to —
+// deterministic ground truth (|A_i|·|E_{B_j}|), so a checkpoint can tell
+// a fully-delivered tile from a partial one without trusting the run
+// that died.
+func (t Tile) Arcs() int64 { return int64(len(t.AArcs)) * t.B.NumArcs() }
+
 // Plan is the decomposition stage of the engine: the per-rank tile lists
 // produced by 1D (Sec. III) or 2D (Rem. 1) partitioning. Plans are inert
 // data — building one does not start a cluster — so they can be inspected,
-// rebalanced or logged before running.
+// rebalanced or logged before running. Tile IDs are unique within a plan.
 type Plan struct {
 	R     int
 	NC    int64    // product vertex count n_A·n_B
@@ -36,7 +47,7 @@ func Plan1D(a, b *graph.Graph, r int) (Plan, error) {
 	parts := PartitionArcs(a.ArcList(), r)
 	tiles := make([][]Tile, r)
 	for rk := 0; rk < r; rk++ {
-		tiles[rk] = []Tile{{AArcs: parts[rk], B: b}}
+		tiles[rk] = []Tile{{ID: rk, AArcs: parts[rk], B: b}}
 	}
 	return Plan{R: r, NC: a.NumVertices() * b.NumVertices(), Tiles: tiles}, nil
 }
@@ -65,7 +76,7 @@ func Plan2D(a, b *graph.Graph, r int) (Plan, error) {
 	tiles := make([][]Tile, r)
 	for t := 0; t < grid.Tiles(); t++ {
 		ai, bj := grid.TileOf(t)
-		tiles[t%r] = append(tiles[t%r], Tile{AArcs: aParts[ai], B: bGraphs[bj]})
+		tiles[t%r] = append(tiles[t%r], Tile{ID: t, AArcs: aParts[ai], B: bGraphs[bj]})
 	}
 	return Plan{R: r, NC: a.NumVertices() * b.NumVertices(), Tiles: tiles}, nil
 }
@@ -80,7 +91,11 @@ func planFor(a, b *graph.Graph, r int, twoD bool) (Plan, error) {
 
 // RankSink consumes the edges owned by one rank. Store and Close are
 // called from that rank's goroutines only; a Sink that aggregates across
-// ranks must synchronize in Close (or use atomics).
+// ranks must synchronize in Close (or use atomics). Under supervision
+// (Recovery.MaxRetries > 0) a rank's RankSink lives across run attempts —
+// Store may be called from a later attempt's goroutines (attempt
+// boundaries give happens-before) and Close still happens exactly once,
+// after the final attempt.
 type RankSink interface {
 	// Store accepts one owned edge. An error aborts the whole run.
 	Store(e graph.Edge) error
@@ -98,6 +113,26 @@ type Sink interface {
 	Rank(rk *Rank) (RankSink, error)
 }
 
+// Recovery tunes the run supervisor (supervisor.go). The zero value
+// disables supervision entirely: the run fails loudly on the first fault,
+// the pre-recovery behavior.
+type Recovery struct {
+	// MaxRetries bounds re-run attempts after a recoverable fault (a
+	// rank crash or a lost message). The run makes at most 1+MaxRetries
+	// attempts; exhausting the budget surfaces the last injected fault
+	// loudly, exactly like an unsupervised run.
+	MaxRetries int
+	// Backoff is the base delay before a retry; attempt n waits
+	// Backoff·2^(n-1), capped at one second. Zero retries immediately.
+	Backoff time.Duration
+	// Reassign moves a crashed rank's unfinished tiles to the surviving
+	// ranks instead of respawning the same assignment — recovery
+	// completes even when a rank is permanently broken (at the cost of
+	// load skew). Without it the crashed rank is respawned with its
+	// original tiles.
+	Reassign bool
+}
+
 // Config describes one engine run.
 type Config struct {
 	Plan Plan
@@ -108,10 +143,41 @@ type Config struct {
 	Owner OwnerFunc
 	Sink  Sink
 	// Faults, when non-nil, arms the run's cluster with an injected
-	// fault schedule (see fault.go) — chaos testing of the teardown and
-	// redelivery paths. Nil injects nothing.
+	// fault schedule (see fault.go) — chaos testing of the teardown,
+	// redelivery and recovery paths. Nil injects nothing.
 	Faults *FaultPlan
+	// Recovery (embedded: MaxRetries, Backoff, Reassign) arms the run
+	// supervisor; see the Recovery type.
+	Recovery
 }
+
+// attemptSink is the engine-internal per-rank sink used by one run
+// attempt: a tile-aware store plus an end-of-attempt hook. The plain
+// adapter forwards to a RankSink and closes it when the attempt ends;
+// the supervisor's fenced sink suppresses replayed duplicates and keeps
+// the underlying RankSink open across attempts.
+type attemptSink interface {
+	// storeTile accepts one owned edge of the given plan tile. stored
+	// reports whether the edge was appended to the underlying sink
+	// (false: suppressed as a replayed duplicate).
+	storeTile(tile int, e graph.Edge) (stored bool, err error)
+	// endAttempt runs after the rank's exchange (or direct expansion)
+	// has finished — even on teardown. It returns the number of
+	// duplicates suppressed this attempt (the balance collective's
+	// adjustment) and any close/flush error.
+	endAttempt() (skipped int64, err error)
+}
+
+// plainAttemptSink adapts a RankSink for an unsupervised single-attempt
+// run: every edge stores, and the attempt's end closes the sink.
+type plainAttemptSink struct{ rs RankSink }
+
+func (p plainAttemptSink) storeTile(_ int, e graph.Edge) (bool, error) {
+	err := p.rs.Store(e)
+	return err == nil, err
+}
+
+func (p plainAttemptSink) endAttempt() (int64, error) { return 0, p.rs.Close() }
 
 // Run executes the Plan→Expand→Route→Sink engine: every rank expands its
 // planned tiles (the package's sole call into core's streaming product),
@@ -122,7 +188,15 @@ type Config struct {
 // real error (a failed sink, or the cancellation cause) is returned.
 // The returned Stats carry the transport counters plus per-rank
 // generated/stored counts and the deepest inbox backlog observed.
+//
+// With Recovery.MaxRetries > 0 the run is supervised: a rank crash or
+// lost message triggers a bounded-backoff replay from tile-level
+// checkpoints instead of a loud failure, with epoch-fenced sinks keeping
+// delivery exactly-once (see supervisor.go).
 func Run(ctx context.Context, cfg Config) (Stats, error) {
+	if cfg.MaxRetries > 0 {
+		return supervise(ctx, cfg)
+	}
 	p := cfg.Plan
 	c, err := NewCluster(p.R)
 	if err != nil {
@@ -133,11 +207,30 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	}
 	perGen := make([]int64, p.R)
 	perStored := make([]int64, p.R)
-	runErr := c.RunContext(ctx, func(rk *Rank) error {
+	runErr := runAttempt(ctx, c, cfg.Owner, p.Tiles, func(rk *Rank) (attemptSink, error) {
+		rs, err := cfg.Sink.Rank(rk)
+		if err != nil {
+			return nil, err
+		}
+		return plainAttemptSink{rs}, nil
+	}, perGen, perStored)
+	st := c.Stats()
+	st.PerRankGenerated = perGen
+	st.PerRankStored = perStored
+	return st, runErr
+}
+
+// runAttempt executes one attempt of the engine on an already-built
+// cluster: every rank expands the tiles assigned to it, routes edges via
+// owner over the epoch-fenced exchange (or stores locally when owner is
+// nil), and hands owned edges to the attemptSink sinkFor returns for it.
+// perGen/perStored receive this attempt's per-rank counters.
+func runAttempt(ctx context.Context, c *Cluster, owner OwnerFunc, tiles [][]Tile, sinkFor func(*Rank) (attemptSink, error), perGen, perStored []int64) error {
+	return c.RunContext(ctx, func(rk *Rank) error {
 		if err := rk.crashAt(FaultBeforeSinkSetup); err != nil {
 			return err
 		}
-		rs, err := cfg.Sink.Rank(rk)
+		as, err := sinkFor(rk)
 		if err != nil {
 			return fmt.Errorf("dist: rank %d sink: %w", rk.ID(), err)
 		}
@@ -145,25 +238,29 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		var sinkErr, crashErr error
 		// store hands one owned edge to the rank's sink. Under routing it
 		// runs on the exchange's receiver goroutine; sinkErr is read back
-		// only after Exchange returns (happens-before via its done
+		// only after the exchange returns (happens-before via its done
 		// channel), and the cancel tears down the producing ranks.
-		store := func(e graph.Edge) {
+		store := func(tile int, e graph.Edge) {
 			if sinkErr != nil {
 				return
 			}
-			if err := rs.Store(e); err != nil {
+			ok, err := as.storeTile(tile, e)
+			if err != nil {
 				sinkErr = err
 				rk.c.cancel(err)
 				return
 			}
-			stored++
+			if ok {
+				stored++
+			}
 		}
 		// expand streams this rank's tiles — the engine's Expand stage.
 		// A scheduled mid-expansion crash cancels the run immediately:
 		// a dead process stops sending, it does not flush EOF markers.
-		expand := func(yield func(e graph.Edge) bool) {
-			for _, t := range p.Tiles[rk.ID()] {
+		expand := func(yield func(tile int, e graph.Edge) bool) {
+			for _, t := range tiles[rk.ID()] {
 				ok := true
+				tid := t.ID
 				core.StreamProductArcs(t.AArcs, t.B, func(u, v int64) bool {
 					if err := rk.crashAt(FaultMidExpansion); err != nil {
 						crashErr = err
@@ -172,7 +269,7 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 						return false
 					}
 					generated++
-					ok = yield(graph.Edge{U: u, V: v})
+					ok = yield(tid, graph.Edge{U: u, V: v})
 					return ok
 				})
 				if !ok {
@@ -181,16 +278,30 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 			}
 		}
 		var xErr error
-		if cfg.Owner != nil {
-			owner := cfg.Owner
-			xErr = rk.Exchange(func(emit func(to int, e graph.Edge) bool) {
-				expand(func(e graph.Edge) bool {
-					return emit(owner(e.U, e.V, p.R), e)
+		if owner != nil {
+			r := rk.Size()
+			xErr = rk.exchangeTiles(func(emit func(to, tile int, e graph.Edge) bool) {
+				expand(func(tile int, e graph.Edge) bool {
+					if !emit(owner(e.U, e.V, r), tile, e) {
+						return false
+					}
+					// Sends only notice a torn-down run when a flush fails,
+					// and the buffered inboxes can absorb a lot before one
+					// does — poll the run context once per batch so
+					// cancellation stops expansion promptly either way.
+					if generated%batchSize == 0 {
+						select {
+						case <-rk.c.ctx.Done():
+							return false
+						default:
+						}
+					}
+					return true
 				})
 			}, store)
 		} else {
-			expand(func(e graph.Edge) bool {
-				store(e)
+			expand(func(tile int, e graph.Edge) bool {
+				store(tile, e)
 				if sinkErr != nil {
 					return false
 				}
@@ -210,7 +321,7 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		atomic.AddInt64(&rk.c.stats.EdgesGenerated, generated)
 		perGen[rk.ID()] = generated
 		perStored[rk.ID()] = stored
-		closeErr := rs.Close()
+		skipped, closeErr := as.endAttempt()
 		switch {
 		case sinkErr != nil:
 			return sinkErr
@@ -224,11 +335,12 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		// Teardown collective: every rank must report a balanced run
 		// before the engine declares success — an edge batch that went
 		// missing without an error would otherwise be a silent partial
-		// result. The reduce doubles as the in-collective fault
+		// result. Replayed duplicates a fenced sink suppressed count as
+		// accounted for. The reduce doubles as the in-collective fault
 		// injection point, and because a rank that died earlier never
 		// arrives, it completes for the survivors only through
 		// BarrierContext's cancellation awareness.
-		delta, rerr := rk.AllReduceSumContext(generated - stored)
+		delta, rerr := rk.AllReduceSumContext(generated - stored - skipped)
 		if rerr != nil {
 			return rerr
 		}
@@ -237,8 +349,4 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		}
 		return nil
 	})
-	st := c.Stats()
-	st.PerRankGenerated = perGen
-	st.PerRankStored = perStored
-	return st, runErr
 }

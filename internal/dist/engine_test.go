@@ -94,7 +94,7 @@ func TestPropertyAllPathsEquivalent(t *testing.T) {
 			}
 		}
 		var streamed []graph.Edge
-		if _, err := Stream(context.Background(), a, b, r, true, 32, func(batch []graph.Edge) error {
+		if _, err := Stream(context.Background(), a, b, r, true, 32, Recovery{}, func(batch []graph.Edge) error {
 			streamed = append(streamed, batch...)
 			return nil
 		}); err != nil {

@@ -25,12 +25,28 @@ const batchSize = 1024
 // Batch buffers are pooled: a delivered Message's Edges slice is recycled
 // after handle has seen its edges, so handle must copy any edge it
 // retains (graph.Edge values are copied by normal assignment/append).
+func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge) bool), handle func(e graph.Edge)) error {
+	return rk.exchangeTiles(func(emit func(to, tile int, e graph.Edge) bool) {
+		produce(func(to int, e graph.Edge) bool { return emit(to, 0, e) })
+	}, func(_ int, e graph.Edge) { handle(e) })
+}
+
+// exchangeTiles is Exchange with tile framing and epoch fencing — the
+// transport the supervised engine runs on. Every batch carries the plan
+// tile its edges came from (emit's tile argument; buffers flush at tile
+// boundaries so batches never mix tiles) and the run epoch stamped by
+// send. The receiver drops whole batches from another epoch — residue a
+// previous attempt could in principle leave behind — counting them in
+// Stats.StaleBatches, so a recovering run can never double-apply or
+// misattribute a stale batch. Within one attempt all epochs match and the
+// fence is a single comparison per batch.
 //
 // Internally the receiver runs concurrently with the producer so inbox
 // buffers drain while expansion is still running — the same overlap of
 // generation and communication an asynchronous MPI implementation gets.
-func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge) bool), handle func(e graph.Edge)) error {
+func (rk *Rank) exchangeTiles(produce func(emit func(to, tile int, e graph.Edge) bool), handle func(tile int, e graph.Edge)) error {
 	c := rk.c
+	epoch := c.epoch
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -38,8 +54,16 @@ func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge) bool), han
 		for eofs < c.r {
 			select {
 			case m := <-c.inboxes[rk.id]:
+				if m.Epoch != epoch {
+					// Epoch fence: a batch from another attempt is dropped
+					// whole (its EOF marker included — the attempt it ends
+					// is already torn down).
+					atomic.AddInt64(&c.stats.StaleBatches, 1)
+					c.putBuf(m.Edges)
+					continue
+				}
 				for _, e := range m.Edges {
-					handle(e)
+					handle(m.Tile, e)
 				}
 				if m.EOF {
 					eofs++
@@ -53,22 +77,33 @@ func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge) bool), han
 
 	aborted := false
 	buf := make([][]graph.Edge, c.r)
+	cur := make([]int, c.r) // tile of the staged batch, per destination
 	flush := func(to int, eof bool) bool {
 		if len(buf[to]) == 0 && !eof {
 			return true
 		}
-		if !rk.send(to, Message{From: rk.id, Edges: buf[to], EOF: eof}) {
+		if !rk.send(to, Message{From: rk.id, Tile: cur[to], Edges: buf[to], EOF: eof}) {
 			return false
 		}
 		buf[to] = nil
 		return true
 	}
-	emit := func(to int, e graph.Edge) bool {
+	emit := func(to, tile int, e graph.Edge) bool {
 		if aborted {
 			return false
 		}
+		if buf[to] != nil && cur[to] != tile {
+			// Tile boundary: ship the previous tile's batch so a batch
+			// never mixes tiles. Boundaries are rare (tiles are large),
+			// so the partial flush costs nothing on the hot path.
+			if !flush(to, false) {
+				aborted = true
+				return false
+			}
+		}
 		if buf[to] == nil {
 			buf[to] = c.getBuf()
+			cur[to] = tile
 		}
 		buf[to] = append(buf[to], e)
 		if len(buf[to]) >= batchSize && !flush(to, false) {

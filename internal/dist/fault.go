@@ -6,13 +6,21 @@ package dist
 // such failure mode either completes correctly or fails loudly. A
 // FaultPlan arms the transport with exactly those faults — per-link
 // delivery delay, probabilistic message drop with bounded redelivery,
-// and rank crashes at the points a real job dies at — deterministically
-// for a given Seed, so a failing chaos schedule replays exactly.
+// deterministic permanent message loss, and rank crashes at the points a
+// real job dies at — deterministically for a given Seed, so a failing
+// chaos schedule replays exactly.
 //
 // The invariant the chaos soak (chaos_test.go) asserts against armed
 // clusters is the verifiability contract: every run either produces the
 // exact reference edge set or returns the injected fault as its error —
-// no hangs, no partial silent success.
+// no hangs, no partial silent success. Under supervision (supervisor.go)
+// the contract strengthens for recoverable schedules: the exact edge set
+// *despite* the fault, because crashes and losses are one-shot — a
+// machine that died does not re-die identically on the replay attempt,
+// just as a real dropped packet is not re-dropped deterministically.
+// That is why the one-shot counters (crash countdowns, the lose-delivery
+// window) are lifetime state surviving Cluster.Reset, while the seeded
+// probabilistic faults re-arm on Reset and replay identically.
 
 import (
 	"context"
@@ -58,7 +66,8 @@ func (p FaultPoint) String() string {
 
 // RankCrashError is the loud failure a crashed rank reports. The run's
 // error chain carries it so callers can tell an injected (or simulated
-// real) rank death apart from ordinary cancellation.
+// real) rank death apart from ordinary cancellation — and so the run
+// supervisor knows which rank to respawn or strip of its tiles.
 type RankCrashError struct {
 	Rank  int
 	Point FaultPoint
@@ -68,11 +77,26 @@ func (e *RankCrashError) Error() string {
 	return fmt.Sprintf("dist: rank %d crashed (%s)", e.Rank, e.Point)
 }
 
-// ErrMessageLost marks a message whose bounded redelivery budget was
-// exhausted. The transport cancels the run with it as the cause rather
-// than silently losing an edge batch — a lost batch must never look like
-// a successful generation with fewer edges.
+// ErrMessageLost marks a message whose delivery was permanently lost
+// (redelivery budget exhausted, or a scheduled deterministic loss). The
+// transport cancels the run with it as the cause rather than silently
+// losing an edge batch — a lost batch must never look like a successful
+// generation with fewer edges.
 var ErrMessageLost = errors.New("dist: message lost")
+
+// MessageLostError is the structured form of ErrMessageLost: it names the
+// link that lost the message so the supervisor can attribute the retry.
+// errors.Is(err, ErrMessageLost) matches it.
+type MessageLostError struct {
+	From, To int
+	Attempts int // delivery attempts made before declaring the loss
+}
+
+func (e *MessageLostError) Error() string {
+	return fmt.Sprintf("dist: message %d→%d lost after %d delivery attempt(s)", e.From, e.To, e.Attempts)
+}
+
+func (e *MessageLostError) Unwrap() error { return ErrMessageLost }
 
 // Link names one directed rank-to-rank connection.
 type Link struct{ From, To int }
@@ -87,10 +111,26 @@ type LinkFault struct {
 	DropProb float64
 }
 
+// CrashSpec schedules one rank death at an injection point. After is how
+// many hits of the point the rank survives before dying (0 = die at the
+// first hit). A crash is one-shot — the hit that exhausts the countdown
+// fires it, later hits pass — unless Repeat marks the rank permanently
+// broken, in which case every hit past the countdown crashes it again
+// (the scenario tile reassignment recovers from and respawning cannot).
+type CrashSpec struct {
+	Rank   int
+	Point  FaultPoint
+	After  int64
+	Repeat bool
+}
+
 // FaultPlan is a deterministic schedule of transport and rank faults for
 // one cluster run. The zero value injects nothing. Arm a cluster with
 // Cluster.InjectFaults (or an engine run with Config.Faults) before the
-// run starts; Cluster.Reset re-arms the schedule from its seed.
+// run starts. Cluster.Reset re-seeds the probabilistic faults from Seed;
+// the one-shot counters (crash countdowns, the lose window) deliberately
+// keep counting across Reset so a supervised replay does not re-suffer a
+// fault that already fired.
 type FaultPlan struct {
 	// Seed drives every probabilistic decision (delays and drops), keyed
 	// additionally by the sending rank so schedules stay deterministic
@@ -105,12 +145,23 @@ type FaultPlan struct {
 	Links map[Link]LinkFault
 	// MaxRedeliver bounds retries after a dropped delivery attempt.
 	// When all 1+MaxRedeliver attempts drop, the message is declared
-	// lost and the run fails with ErrMessageLost as its cause.
+	// lost and the run fails with a MessageLostError as its cause.
 	MaxRedeliver int
 
-	// CrashRank and CrashPoint schedule one rank death; CrashPoint ==
-	// FaultNone disables it. CrashAfter is how many hits of the point
-	// the rank survives before dying (0 = die at the first hit).
+	// LoseAfter and LoseDeliveries schedule deterministic permanent
+	// message loss: across the cluster's lifetime, cross-rank delivery
+	// attempts LoseAfter+1 .. LoseAfter+LoseDeliveries are lost outright
+	// (no redelivery), each failing the run with a MessageLostError.
+	// The sequence counter survives Reset, so a supervised retry gets
+	// the batch through — exactly one loss per scheduled slot.
+	LoseAfter      int64
+	LoseDeliveries int64
+
+	// Crashes schedules any number of rank deaths (see CrashSpec).
+	Crashes []CrashSpec
+
+	// CrashRank, CrashPoint and CrashAfter are the legacy single-crash
+	// form, folded into Crashes when CrashPoint != FaultNone.
 	CrashRank  int
 	CrashPoint FaultPoint
 	CrashAfter int64
@@ -118,38 +169,55 @@ type FaultPlan struct {
 
 // faultState is the armed form of a FaultPlan inside a Cluster.
 type faultState struct {
-	plan FaultPlan
+	plan  FaultPlan
+	specs []CrashSpec
 	// rngs are per sending rank and touched only by that rank's body
 	// goroutine (the only goroutine that sends), so no locking is needed.
 	rngs      []*rand.Rand
-	crashLeft int64 // atomic countdown to the scheduled crash
+	crashLeft []int64 // atomic countdowns, one per spec; lifetime state
+	loseSeq   int64   // atomic cross-rank delivery sequence; lifetime state
 }
 
 func newFaultState(plan FaultPlan, r int) *faultState {
-	s := &faultState{plan: plan, rngs: make([]*rand.Rand, r)}
+	specs := append([]CrashSpec(nil), plan.Crashes...)
+	if plan.CrashPoint != FaultNone {
+		specs = append(specs, CrashSpec{Rank: plan.CrashRank, Point: plan.CrashPoint, After: plan.CrashAfter})
+	}
+	s := &faultState{plan: plan, specs: specs,
+		rngs: make([]*rand.Rand, r), crashLeft: make([]int64, len(specs))}
+	for i, sp := range specs {
+		s.crashLeft[i] = sp.After + 1
+	}
 	s.reset()
 	return s
 }
 
-// reset re-seeds the rngs and the crash countdown so a Reset cluster
-// replays the identical fault schedule.
+// reset re-seeds the probabilistic rngs so a Reset cluster replays the
+// identical delay/drop schedule. The one-shot counters (crash countdowns,
+// lose window) are NOT re-armed: a crash or scheduled loss that already
+// fired stays fired across attempts, which is what lets the supervisor's
+// replay succeed where the first attempt died.
 func (s *faultState) reset() {
 	for i := range s.rngs {
 		s.rngs[i] = rand.New(rand.NewSource(s.plan.Seed*0x9e3779b9 + int64(i)))
 	}
-	atomic.StoreInt64(&s.crashLeft, s.plan.CrashAfter+1)
 }
 
-// crash reports the scheduled RankCrashError when rank hits the armed
-// injection point, nil otherwise.
+// crash reports a scheduled RankCrashError when rank hits an armed
+// injection point, nil otherwise. One-shot specs fire on exactly the hit
+// that exhausts their countdown; Repeat specs fire on that hit and every
+// later one.
 func (s *faultState) crash(rank int, p FaultPoint) error {
-	if s.plan.CrashPoint != p || s.plan.CrashRank != rank {
-		return nil
+	for i, sp := range s.specs {
+		if sp.Point != p || sp.Rank != rank {
+			continue
+		}
+		left := atomic.AddInt64(&s.crashLeft[i], -1)
+		if left == 0 || (sp.Repeat && left < 0) {
+			return &RankCrashError{Rank: rank, Point: p}
+		}
 	}
-	if atomic.AddInt64(&s.crashLeft, -1) > 0 {
-		return nil
-	}
-	return &RankCrashError{Rank: rank, Point: p}
+	return nil
 }
 
 func (s *faultState) linkFor(from, to int) LinkFault {
@@ -159,11 +227,17 @@ func (s *faultState) linkFor(from, to int) LinkFault {
 	return s.plan.Link
 }
 
-// deliver applies link faults to one cross-rank message: a seeded delay
-// (interruptible by run teardown) followed by drop/redelivery. It
-// reports whether delivery should proceed; a non-nil error is a
-// permanent loss after the redelivery budget ran out.
+// deliver applies link faults to one cross-rank message: a scheduled
+// permanent loss, then a seeded delay (interruptible by run teardown),
+// then drop/redelivery. It reports whether delivery should proceed; a
+// non-nil error is a permanent loss.
 func (s *faultState) deliver(ctx context.Context, from, to int) (bool, error) {
+	if s.plan.LoseDeliveries > 0 {
+		seq := atomic.AddInt64(&s.loseSeq, 1)
+		if seq > s.plan.LoseAfter && seq <= s.plan.LoseAfter+s.plan.LoseDeliveries {
+			return false, &MessageLostError{From: from, To: to, Attempts: 1}
+		}
+	}
 	lf := s.linkFor(from, to)
 	rng := s.rngs[from]
 	if lf.MaxDelay > 0 {
@@ -180,8 +254,7 @@ func (s *faultState) deliver(ctx context.Context, from, to int) (bool, error) {
 	if lf.DropProb > 0 {
 		for attempt := 0; rng.Float64() < lf.DropProb; attempt++ {
 			if attempt >= s.plan.MaxRedeliver {
-				return false, fmt.Errorf("dist: message %d→%d dropped %d times, redelivery budget %d exhausted: %w",
-					from, to, attempt+1, s.plan.MaxRedeliver, ErrMessageLost)
+				return false, &MessageLostError{From: from, To: to, Attempts: attempt + 1}
 			}
 		}
 	}

@@ -9,6 +9,14 @@ import (
 	"kronlab/internal/store"
 )
 
+// The sinks below are supervision-agnostic: under Recovery the engine
+// wraps each RankSink in a fencing layer (supervisor.go) that suppresses
+// replayed duplicates and defers Close to the end of the whole run, so a
+// sink observes exactly the same Store/Close sequence a fault-free run
+// would deliver. "Durable" in the simulation means the Go object
+// survives the simulated rank's death — which it does, because a crashed
+// rank is a returned goroutine, not a lost process image.
+
 // MemorySink collects each rank's owned edges in an in-memory slice —
 // the Result-producing sink behind Generate1D/Generate2D.
 type MemorySink struct {
@@ -155,6 +163,11 @@ func (s *streamSink) Rank(rk *Rank) (RankSink, error) {
 	return &streamRankSink{s: s, buf: s.getBuf()}, nil
 }
 
+// streamRankSink buffers one rank's edges between flushes. Under
+// supervision the same instance spans run attempts: edges accepted (and
+// checkpoint-counted) by a failed attempt stay in buf and reach the
+// consumer on a later flush, which is what keeps a recovered stream
+// exactly-once end to end.
 type streamRankSink struct {
 	s   *streamSink
 	buf []graph.Edge

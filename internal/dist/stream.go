@@ -29,7 +29,12 @@ const DefaultStreamBatch = 1024
 // DESIGN.md §3a, "Failure semantics"). Stats counters follow the
 // Generate* conventions, with every delivered edge accounted as routed
 // traffic to the consumer.
-func Stream(ctx context.Context, a, b *graph.Graph, r int, twoD bool, batch int, emit func([]graph.Edge) error) (Stats, error) {
+//
+// rec arms the run supervisor (see Recovery); the zero value streams
+// unsupervised. Because the stream sink holds undelivered edges in the
+// per-rank batch buffer across attempts and the fenced sinks suppress
+// replayed prefixes, a recovered stream delivers every edge exactly once.
+func Stream(ctx context.Context, a, b *graph.Graph, r int, twoD bool, batch int, rec Recovery, emit func([]graph.Edge) error) (Stats, error) {
 	if r < 1 {
 		return Stats{}, fmt.Errorf("dist: stream needs ≥ 1 rank, got %d", r)
 	}
@@ -49,7 +54,7 @@ func Stream(ctx context.Context, a, b *graph.Graph, r int, twoD bool, batch int,
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		st, runErr = Run(ctx, Config{Plan: plan, Sink: sink})
+		st, runErr = Run(ctx, Config{Plan: plan, Sink: sink, Recovery: rec})
 		close(sink.ch)
 	}()
 

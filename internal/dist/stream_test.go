@@ -26,7 +26,7 @@ func TestStreamMatchesProduct(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var arcs []graph.Edge
-			stats, err := Stream(context.Background(), a, b, tc.r, tc.twoD, 64,
+			stats, err := Stream(context.Background(), a, b, tc.r, tc.twoD, 64, Recovery{},
 				func(batch []graph.Edge) error {
 					arcs = append(arcs, batch...)
 					return nil
@@ -56,7 +56,7 @@ func TestStreamEmitErrorStops(t *testing.T) {
 	b := gen.ER(40, 0.3, 2)
 	sentinel := errors.New("downstream full")
 	calls := 0
-	_, err := Stream(context.Background(), a, b, 4, false, 32, func([]graph.Edge) error {
+	_, err := Stream(context.Background(), a, b, 4, false, 32, Recovery{}, func([]graph.Edge) error {
 		calls++
 		if calls >= 3 {
 			return sentinel
@@ -73,7 +73,7 @@ func TestStreamCancellation(t *testing.T) {
 	b := gen.ER(40, 0.3, 6)
 	ctx, cancel := context.WithCancel(context.Background())
 	var got int64
-	_, err := Stream(ctx, a, b, 3, true, 16, func(batch []graph.Edge) error {
+	_, err := Stream(ctx, a, b, 3, true, 16, Recovery{}, func(batch []graph.Edge) error {
 		got += int64(len(batch))
 		if got > 100 {
 			cancel()
@@ -91,7 +91,7 @@ func TestStreamCancellation(t *testing.T) {
 
 func TestStreamBadRanks(t *testing.T) {
 	a := gen.Ring(4)
-	if _, err := Stream(context.Background(), a, a, 0, false, 0, func([]graph.Edge) error { return nil }); err == nil {
+	if _, err := Stream(context.Background(), a, a, 0, false, 0, Recovery{}, func([]graph.Edge) error { return nil }); err == nil {
 		t.Error("r=0 should error")
 	}
 }

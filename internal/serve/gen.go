@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"kronlab/internal/dist"
 	"kronlab/internal/graph"
@@ -91,6 +92,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Kronlab-Product-N", strconv.FormatInt(ga.NumVertices()*gb.NumVertices(), 10))
 	w.Header().Set("X-Kronlab-Product-Arcs", strconv.FormatInt(totalArcs, 10))
 	w.Header().Set("X-Kronlab-Factors", fmt.Sprintf("%s,%s", hashA, hashB))
+	// Declared before the body starts, set after it ends: the trailer is
+	// how a client distinguishes a complete stream from one cut short by
+	// shutdown, timeout or a mid-run failure — the status line is long
+	// gone by then. A client-requested limit= truncation counts complete.
+	w.Header().Set("Trailer", "X-Kronlab-Complete, X-Kronlab-Arcs-Written")
 
 	bw := bufio.NewWriterSize(w, 1<<16)
 	flusher, _ := w.(http.Flusher)
@@ -125,12 +131,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}
 
-	stats, err := dist.Stream(r.Context(), ga, gb, ranks, twoD, 0, emit)
+	recov := dist.Recovery{MaxRetries: s.cfg.GenRetries, Backoff: 5 * time.Millisecond, Reassign: true}
+	stats, err := dist.Stream(r.Context(), ga, gb, ranks, twoD, 0, recov, emit)
 	s.metrics.AddGenStats(stats)
-	if err != nil && !errors.Is(err, errStreamLimit) {
-		// Headers are gone; the most we can do is cut the stream short so
-		// the client's record/line framing detects truncation.
-		return
+	complete := err == nil || errors.Is(err, errStreamLimit)
+	if complete {
+		_ = bw.Flush()
 	}
-	_ = bw.Flush()
+	// Trailer values: with the names declared up front, setting them on
+	// the header map after the body is written sends them as trailers.
+	w.Header().Set("X-Kronlab-Complete", strconv.FormatBool(complete))
+	w.Header().Set("X-Kronlab-Arcs-Written", strconv.FormatInt(written, 10))
 }

@@ -37,11 +37,42 @@ type Metrics struct {
 
 	AdmissionRejected atomic.Int64
 
+	// heavyNanos is an exponentially-weighted moving average (α = 1/8) of
+	// admitted heavy-request durations, feeding the Retry-After estimate.
+	heavyNanos atomic.Int64
+
 	// Generation traffic, accumulated from dist.Stats after each stream.
 	GenEdges    atomic.Int64
 	GenBatches  atomic.Int64
 	GenBytes    atomic.Int64
 	GenRequests atomic.Int64
+
+	// Supervised-recovery activity inside generation runs.
+	GenRetries    atomic.Int64
+	GenRecovered  atomic.Int64
+	GenReassigned atomic.Int64
+	GenDupSkipped atomic.Int64
+}
+
+// ObserveHeavy folds one admitted heavy-request duration into the
+// smoothed estimate behind Retry-After.
+func (m *Metrics) ObserveHeavy(d time.Duration) {
+	for {
+		old := m.heavyNanos.Load()
+		next := int64(d)
+		if old > 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if m.heavyNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HeavyEWMA returns the smoothed heavy-request duration (0 before the
+// first observation).
+func (m *Metrics) HeavyEWMA() time.Duration {
+	return time.Duration(m.heavyNanos.Load())
 }
 
 // NewMetrics returns a zeroed metric set with the clock started.
@@ -80,12 +111,17 @@ func (m *Metrics) Observe(route string, status int, d time.Duration) {
 	rs.Status[cls].Add(1)
 }
 
-// AddGenStats folds one generation stream's traffic counters in.
+// AddGenStats folds one generation stream's traffic and recovery
+// counters in.
 func (m *Metrics) AddGenStats(st dist.Stats) {
 	m.GenRequests.Add(1)
 	m.GenEdges.Add(st.EdgesGenerated)
 	m.GenBatches.Add(st.Messages)
 	m.GenBytes.Add(st.BytesSent)
+	m.GenRetries.Add(st.TotalRetries())
+	m.GenRecovered.Add(st.RecoveredRuns)
+	m.GenReassigned.Add(st.TilesReassigned)
+	m.GenDupSkipped.Add(st.DuplicatesSkipped)
 }
 
 // WriteText renders the counters in Prometheus text exposition format.
@@ -151,4 +187,15 @@ func (m *Metrics) WriteText(w io.Writer, cache *SummaryCache, lim *Limiter, fact
 	fmt.Fprintf(w, "kronserve_gen_batches_total %d\n", m.GenBatches.Load())
 	fmt.Fprintf(w, "# TYPE kronserve_gen_bytes_total counter\n")
 	fmt.Fprintf(w, "kronserve_gen_bytes_total %d\n", m.GenBytes.Load())
+
+	fmt.Fprintf(w, "# TYPE kronserve_heavy_seconds_ewma gauge\n")
+	fmt.Fprintf(w, "kronserve_heavy_seconds_ewma %g\n", m.HeavyEWMA().Seconds())
+	fmt.Fprintf(w, "# TYPE kronserve_gen_retries_total counter\n")
+	fmt.Fprintf(w, "kronserve_gen_retries_total %d\n", m.GenRetries.Load())
+	fmt.Fprintf(w, "# TYPE kronserve_gen_recovered_total counter\n")
+	fmt.Fprintf(w, "kronserve_gen_recovered_total %d\n", m.GenRecovered.Load())
+	fmt.Fprintf(w, "# TYPE kronserve_gen_tiles_reassigned_total counter\n")
+	fmt.Fprintf(w, "kronserve_gen_tiles_reassigned_total %d\n", m.GenReassigned.Load())
+	fmt.Fprintf(w, "# TYPE kronserve_gen_duplicates_skipped_total counter\n")
+	fmt.Fprintf(w, "kronserve_gen_duplicates_skipped_total %d\n", m.GenDupSkipped.Load())
 }

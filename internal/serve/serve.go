@@ -26,8 +26,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
 	"time"
 )
 
@@ -50,6 +53,15 @@ type Config struct {
 	// MaxRanks caps the ranks= parameter of generation requests.
 	// Default 64.
 	MaxRanks int
+	// GenTimeout bounds one generation stream end to end; the deadline
+	// propagates as context.WithTimeout into the dist engine, which tears
+	// the expander ranks down when it fires. Default 5m.
+	GenTimeout time.Duration
+	// GenRetries is the supervised-recovery budget passed to generation
+	// runs (dist.Recovery.MaxRetries): a rank crash or lost batch inside
+	// the engine is replayed exactly-once instead of tearing the stream.
+	// Default 1; negative disables supervision.
+	GenRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +83,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxRanks <= 0 {
 		c.MaxRanks = 64
 	}
+	if c.GenTimeout <= 0 {
+		c.GenTimeout = 5 * time.Minute
+	}
+	if c.GenRetries == 0 {
+		c.GenRetries = 1
+	} else if c.GenRetries < 0 {
+		c.GenRetries = 0
+	}
 	return c
 }
 
@@ -83,6 +103,12 @@ type Server struct {
 	lim     *Limiter
 	metrics *Metrics
 	mux     *http.ServeMux
+
+	// drain closes when BeginShutdown is called: new heavy requests are
+	// refused with 503 and in-flight generation streams are cancelled so
+	// they terminate with a clean trailer inside the drain deadline.
+	drain     chan struct{}
+	drainOnce sync.Once
 }
 
 // New builds a Server from cfg (zero value: all defaults).
@@ -96,6 +122,7 @@ func New(cfg Config) *Server {
 		lim:     NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
 		metrics: m,
 		mux:     http.NewServeMux(),
+		drain:   make(chan struct{}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("meta", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("meta", s.handleMetrics))
@@ -103,8 +130,27 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /factors", s.instrument("factors", s.handleListFactors))
 	s.mux.HandleFunc("GET /factors/{hash}", s.instrument("factors", s.handleGetFactor))
 	s.mux.HandleFunc("GET /gt/{a}/{b}/{property}", s.instrument("gt", s.admitted(s.timed(s.handleGroundTruth))))
-	s.mux.HandleFunc("GET /gen/{a}/{b}/edges", s.instrument("gen", s.admitted(s.handleGenerate)))
+	s.mux.HandleFunc("GET /gen/{a}/{b}/edges", s.instrument("gen", s.admitted(s.genTimed(s.handleGenerate))))
 	return s
+}
+
+// BeginShutdown puts the server into drain mode: heavy requests are
+// refused with 503 and running generation streams are cancelled (their
+// handlers finish with a clean trailer, so http.Server.Shutdown can
+// complete inside its deadline). Light endpoints keep answering so
+// health checks observe the drain. Safe to call more than once.
+func (s *Server) BeginShutdown() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// Draining reports whether BeginShutdown has been called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -147,14 +193,22 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// admitted gates a handler behind the admission controller: a full queue
-// means 429 now, not an unbounded wait.
+// admitted gates a handler behind the admission controller: a draining
+// server refuses outright, a full queue means 429 now (with a Retry-After
+// computed from observed run durations), not an unbounded wait. Admitted
+// requests feed their duration back into the estimator.
 func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			s.metrics.AdmissionRejected.Add(1)
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
 		if err := s.lim.Acquire(r.Context()); err != nil {
 			s.metrics.AdmissionRejected.Add(1)
 			if errors.Is(err, ErrBusy) {
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.retryAfterSeconds())
 				writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
 			} else {
 				writeError(w, statusForContextErr(err), "cancelled while queued: %v", err)
@@ -162,8 +216,29 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer s.lim.Release()
+		start := time.Now()
 		h(w, r)
+		s.metrics.ObserveHeavy(time.Since(start))
 	}
+}
+
+// retryAfterSeconds estimates when a retried heavy request would find a
+// free slot: the smoothed heavy-request duration, scaled by how many
+// requests are already queued ahead per slot. Clamped to [1, 60]s; with
+// no observations yet it falls back to the old fixed 1s.
+func (s *Server) retryAfterSeconds() string {
+	est := s.metrics.HeavyEWMA()
+	if est <= 0 {
+		return "1"
+	}
+	depth := float64(s.lim.Waiting()+1) / float64(s.cfg.MaxInflight)
+	secs := math.Ceil(est.Seconds() * math.Max(depth, 1))
+	if secs < 1 {
+		secs = 1
+	} else if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(int(secs))
 }
 
 // timed bounds a handler by the configured request timeout.
@@ -175,9 +250,34 @@ func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// genTimed bounds a generation stream by Config.GenTimeout and cancels it
+// when the server starts draining — the context reaches the dist engine,
+// which tears the expander ranks down, so the handler returns (with its
+// completion trailer) instead of holding http.Server.Shutdown open.
+func (s *Server) genTimed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.GenTimeout)
+		defer cancel()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-s.drain:
+				cancel()
+			case <-done:
+			}
+		}()
+		h(w, r.WithContext(ctx))
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"uptime_seconds": time.Since(s.metrics.Start).Seconds(),
 		"factors":        s.reg.Len(),
 		"inflight":       s.lim.Inflight(),

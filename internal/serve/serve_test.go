@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -490,5 +491,166 @@ func TestGenerateFlushesIncrementally(t *testing.T) {
 	if rec.bytesAtFirstFlush >= rec.body.Len() {
 		t.Fatalf("first flush only happened at end of stream (%d of %d bytes)",
 			rec.bytesAtFirstFlush, rec.body.Len())
+	}
+}
+
+// TestGenerateCompletionTrailer: a finished stream must carry the
+// declared trailers — complete=true and the exact arc count — and a
+// client-requested limit= truncation still counts as complete.
+func TestGenerateCompletionTrailer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	a := gen.ER(12, 0.4, 91)
+	b := gen.ER(11, 0.4, 92)
+	ha := registerText(t, ts, a, "")
+	hb := registerText(t, ts, b, "")
+	total := a.NumArcs() * b.NumArcs()
+
+	for _, tc := range []struct {
+		query     string
+		wantArcs  int64
+		wantLines int64
+	}{
+		{"", total, total},
+		{"?limit=5", 5, 5},
+	} {
+		resp, err := http.Get(ts.URL + "/gen/" + ha + "/" + hb + "/edges" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The client surfaces declared trailer names as placeholder keys
+		// in resp.Trailer before the body is read.
+		if _, declared := resp.Trailer["X-Kronlab-Complete"]; !declared {
+			t.Fatalf("trailer not declared up front: %v", resp.Trailer)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines := int64(strings.Count(string(body), "\n")); lines != tc.wantLines {
+			t.Fatalf("%q: streamed %d lines, want %d", tc.query, lines, tc.wantLines)
+		}
+		if got := resp.Trailer.Get("X-Kronlab-Complete"); got != "true" {
+			t.Fatalf("%q: X-Kronlab-Complete = %q, want true", tc.query, got)
+		}
+		if got := resp.Trailer.Get("X-Kronlab-Arcs-Written"); got != fmt.Sprint(tc.wantArcs) {
+			t.Fatalf("%q: X-Kronlab-Arcs-Written = %q, want %d", tc.query, got, tc.wantArcs)
+		}
+	}
+}
+
+// TestRetryAfterComputed: a 429 must carry a Retry-After derived from the
+// observed heavy-request duration and the queue depth, not the old
+// hardcoded "1".
+func TestRetryAfterComputed(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
+	// Seed the estimator with a known duration: first observation sets
+	// the EWMA exactly.
+	s.metrics.ObserveHeavy(3 * time.Second)
+
+	// Occupy the single slot, then queue one waiter so the next request
+	// is rejected with the queue at depth 1.
+	if err := s.lim.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.lim.Acquire(context.Background()); err == nil {
+			s.lim.Release()
+		}
+	}()
+	for i := 0; s.lim.Waiting() != 1; i++ {
+		if i > 1000 {
+			t.Fatal("queued waiter never showed up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/gt/nosuch/nosuch/degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	// est 3s × (1 waiting + 1) / 1 slot = 6s.
+	if got := resp.Header.Get("Retry-After"); got != "6" {
+		t.Fatalf("Retry-After = %q, want 6 (3s EWMA × queue depth 2)", got)
+	}
+
+	s.lim.Release()
+	wg.Wait()
+}
+
+// TestDrainModeRefusesHeavy: after BeginShutdown heavy endpoints answer
+// 503 with a Retry-After while health stays up and reports draining.
+func TestDrainModeRefusesHeavy(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if h := getJSON(t, ts.URL+"/healthz", http.StatusOK); h["status"] != "ok" {
+		t.Fatalf("pre-drain health = %v", h["status"])
+	}
+	s.BeginShutdown()
+	s.BeginShutdown() // idempotent
+
+	resp, err := http.Get(ts.URL + "/gt/nosuch/nosuch/degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /gt status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining rejection missing Retry-After")
+	}
+	if h := getJSON(t, ts.URL+"/healthz", http.StatusOK); h["status"] != "draining" {
+		t.Fatalf("draining health = %v, want draining", h["status"])
+	}
+}
+
+// TestShutdownCancelsGenStream: BeginShutdown must cancel an in-flight
+// generation stream — the handler finishes with complete=false in the
+// trailer instead of holding the connection (and http.Server.Shutdown)
+// open until the product is exhausted.
+func TestShutdownCancelsGenStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Large enough that the stream must block on client backpressure
+	// (~1M product edges ≈ 19 MB of NDJSON) long before it completes.
+	a := gen.ER(60, 0.3, 93)
+	b := gen.ER(60, 0.3, 94)
+	ha := registerText(t, ts, a, "")
+	hb := registerText(t, ts, b, "")
+	total := a.NumArcs() * b.NumArcs()
+
+	resp, err := http.Get(ts.URL + "/gen/" + ha + "/" + hb + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadFull(resp.Body, make([]byte, 1024)); err != nil {
+		t.Fatalf("reading stream head: %v", err)
+	}
+	s.BeginShutdown()
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("draining cancelled stream: %v", err)
+	}
+	if got := resp.Trailer.Get("X-Kronlab-Complete"); got != "false" {
+		t.Fatalf("X-Kronlab-Complete = %q after shutdown, want false", got)
+	}
+	written, err := strconv.ParseInt(resp.Trailer.Get("X-Kronlab-Arcs-Written"), 10, 64)
+	if err != nil {
+		t.Fatalf("bad X-Kronlab-Arcs-Written trailer: %v", err)
+	}
+	if written >= total {
+		t.Fatalf("shutdown did not cut the stream: %d of %d arcs written", written, total)
+	}
+	if int64(len(rest)) > total*20 {
+		t.Fatalf("stream kept flowing after shutdown: read %d bytes", len(rest))
 	}
 }
