@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench clean recovery-soak lint
+.PHONY: all build test race vet fmt-check bench benchcmp allocguard clean recovery-soak lint
 
 all: build test
 
@@ -45,6 +45,18 @@ lint:
 # pass.
 bench:
 	sh scripts/bench.sh
+
+# Compares the two newest BENCH_*.json snapshots (or any two passed as
+# OLD=/NEW=) benchmark by benchmark — benchstat when installed, an awk
+# delta table otherwise.
+benchcmp:
+	sh scripts/benchcmp.sh $(OLD) $(NEW)
+
+# Allocation regression guard on the end-to-end generation benchmark:
+# fails when allocs/op exceeds the committed snapshot by more than 20%.
+# Mirrors the CI step.
+allocguard:
+	sh scripts/allocguard.sh
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,15 @@
 //	-max-upload-mb  factor upload size cap in MiB (default 64)
 //	-max-ranks      cap on the ranks= generation parameter (default 64)
 //	-drain          graceful shutdown deadline after SIGTERM/SIGINT (default 15s)
+//	-pprof          side listener address for net/http/pprof (default off)
+//
+// -pprof serves the runtime profiling endpoints on a separate listener
+// (own mux, never the service address), so profiles of a live server —
+// including the engine's phase labels phase=expand|route|store — stay
+// off the public surface. Point it at loopback, e.g. -pprof
+// localhost:6060, then:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
 // On SIGTERM or SIGINT the server drains: new heavy requests get 503,
 // in-flight generation streams are cancelled and finish with a clean
@@ -33,6 +42,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,7 +62,27 @@ func main() {
 	uploadMB := flag.Int64("max-upload-mb", 64, "factor upload cap in MiB")
 	maxRanks := flag.Int("max-ranks", 64, "cap on the ranks= generation parameter")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown deadline after SIGTERM/SIGINT")
+	pprofAddr := flag.String("pprof", "", "side listener address for net/http/pprof (empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Dedicated mux on a dedicated listener: the profiling surface is
+		// opt-in and bindable to loopback, independent of -addr. Best
+		// effort — a dead pprof listener is logged, not fatal.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("kronserve pprof listening on %s", *pprofAddr)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("kronserve pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv := serve.New(serve.Config{
 		MaxInflight:    *maxInflight,

@@ -47,6 +47,29 @@ func StreamProductArcs(aArcs []graph.Edge, b *graph.Graph, yield func(u, v int64
 	}
 }
 
+// ExpandBlock expands one A-arc against an explicit slice of B-arcs,
+// appending the len(bArcs) product arcs to out and returning it. It is
+// the blocked form of the paper's Sec. III expansion and the kernel
+// behind the distributed engine's Expand stage: the γ offsets of the
+// A-arc are hoisted out of the loop, so the body is two adds and an
+// append — no interface or closure calls per product arc (contrast
+// StreamProductArcs, which stays as the per-edge reference
+// implementation).
+//
+// Pass bArcs = b.ArcSlice() and nB = b.NumVertices(); reuse out (len 0,
+// cap ≥ len(bArcs)) across calls to make expansion allocation-free.
+// Output order is bArcs order — B's CSR arc order — which matches
+// StreamProduct exactly; the deterministic per-tile expansion order that
+// tile checkpoints and prefix-dedup recovery key on is preserved.
+func ExpandBlock(aArc graph.Edge, bArcs []graph.Edge, nB int64, out []graph.Edge) []graph.Edge {
+	uBase := aArc.U * nB
+	vBase := aArc.V * nB
+	for _, e := range bArcs {
+		out = append(out, graph.Edge{U: uBase + e.U, V: vBase + e.V})
+	}
+	return out
+}
+
 // Product materializes C = A ⊗ B as a Graph on n_A·n_B vertices.
 // If A and B are symmetric, so is C.
 func Product(a, b *graph.Graph) (*graph.Graph, error) {

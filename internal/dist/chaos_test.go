@@ -316,9 +316,11 @@ func TestClusterOneShotAfterCancelledRun(t *testing.T) {
 			}
 			// Stage an undelivered message, then die before EOF: the
 			// exact residue an aborted exchange leaves behind.
-			buf := c.getBuf()
+			buf := c.getBuf(DefaultBatchSize)
 			buf = append(buf, graph.Edge{U: 7, V: 7})
-			rk.send(1, Message{From: 0, Edges: buf})
+			s := &shipper{rk: rk, c: c}
+			s.rx = &receiver{c: c, s: s, id: rk.ID(), epoch: c.epoch}
+			s.send(1, Message{From: 0, Edges: buf})
 			return boom
 		})
 	})
@@ -800,7 +802,7 @@ func TestEpochFencingDropsStaleBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.epoch = 5
-	stale := c.getBuf()
+	stale := c.getBuf(DefaultBatchSize)
 	stale = append(stale, graph.Edge{U: 9, V: 9})
 	c.inboxes[1] <- Message{From: 0, Epoch: 3, Edges: stale}
 

@@ -125,12 +125,11 @@ type Cluster struct {
 	// (see fault.go) consulted by the transport and the collectives.
 	faults *faultState
 
-	// bufPool recycles per-destination batch buffers between flushes so a
-	// long exchange allocates O(R + inflight) buffers, not O(messages).
-	// bufsOut counts buffers currently checked out; it must return to the
-	// number of stale inbox messages after teardown (zero after Reset),
-	// which is how the abort-path leak regression is asserted.
-	bufPool sync.Pool
+	// bufsOut counts pooled batch buffers currently checked out by this
+	// cluster; it must return to the number of stale inbox messages after
+	// teardown (zero after Reset), which is how the abort-path leak
+	// regression is asserted. The buffers themselves live in the
+	// package-level edgeBufPool.
 	bufsOut int64
 
 	barrierMu   sync.Mutex
@@ -273,22 +272,94 @@ func (c *Cluster) RunContext(ctx context.Context, body func(rk *Rank) error) err
 	return nil
 }
 
-// getBuf returns an empty edge buffer with batchSize capacity, reusing a
-// recycled one when available.
-func (c *Cluster) getBuf() []graph.Edge {
-	atomic.AddInt64(&c.bufsOut, 1)
-	if v := c.bufPool.Get(); v != nil {
-		return v.([]graph.Edge)[:0]
+// edgeBufPool recycles per-destination batch buffers between flushes so
+// a long exchange allocates O(R + inflight) buffers, not O(messages).
+// It is a package-level freelist rather than a per-cluster sync.Pool for
+// two measured reasons: short-lived clusters (one per generation run)
+// reuse each other's buffers instead of paying O(R²) cold-start
+// allocations every run, and pushing a plain slice header onto a slice
+// stack does not box it into an interface the way sync.Pool.Put does —
+// that box was one heap object per flushed batch, the single largest
+// allocation source in the routed engine. The freelist is capped so idle
+// buffer memory stays bounded; per-cluster accounting stays in
+// Cluster.bufsOut, which nets zero for any get/put pair regardless of
+// which cluster's run originally allocated the buffer.
+var edgeBufPool struct {
+	mu   sync.Mutex
+	free [][]graph.Edge
+}
+
+// edgeBufPoolCap bounds the freelist; buffers recycled beyond it are
+// dropped for the GC. 4096 buffers of the default batch size is 64 MiB —
+// comfortably above the in-flight peak of any simulated cluster size the
+// repo runs (R² staged + inbox backlog at R=32 is ~1.3k).
+const edgeBufPoolCap = 4096
+
+// poolFill pops up to k recycled buffers onto dst under one lock.
+func poolFill(dst [][]graph.Edge, k int) [][]graph.Edge {
+	p := &edgeBufPool
+	p.mu.Lock()
+	for n := len(p.free); k > 0 && n > 0; k-- {
+		n--
+		dst = append(dst, p.free[n])
+		p.free[n] = nil
+		p.free = p.free[:n]
 	}
-	return make([]graph.Edge, 0, batchSize)
+	p.mu.Unlock()
+	return dst
+}
+
+// poolSpill pushes every buffer in src back under one lock; src is
+// cleared for its owner.
+func poolSpill(src [][]graph.Edge) {
+	if len(src) == 0 {
+		return
+	}
+	p := &edgeBufPool
+	p.mu.Lock()
+	for i, b := range src {
+		if len(p.free) < edgeBufPoolCap {
+			p.free = append(p.free, b[:0])
+		}
+		src[i] = nil
+	}
+	p.mu.Unlock()
+}
+
+// getBuf returns an empty edge buffer for an n-edge batch, reusing a
+// recycled one when available. A recycled buffer may have any capacity
+// (batch sizes vary across runs); append growth re-sizes it and the
+// grown buffer returns to the freelist, so capacities converge upward.
+// The exchange hot path recycles through rank-local spare stacks instead
+// (see shipper.getBuf) and only hits this shared freelist to fill, spill
+// or cross runs.
+func (c *Cluster) getBuf(n int) []graph.Edge {
+	atomic.AddInt64(&c.bufsOut, 1)
+	p := &edgeBufPool
+	p.mu.Lock()
+	if k := len(p.free); k > 0 {
+		b := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	return make([]graph.Edge, 0, n)
 }
 
 // putBuf recycles a delivered batch buffer.
 func (c *Cluster) putBuf(s []graph.Edge) {
-	if cap(s) > 0 {
-		atomic.AddInt64(&c.bufsOut, -1)
-		c.bufPool.Put(s[:0]) //nolint:staticcheck // slice headers are cheap to box
+	if cap(s) == 0 {
+		return
 	}
+	atomic.AddInt64(&c.bufsOut, -1)
+	p := &edgeBufPool
+	p.mu.Lock()
+	if len(p.free) < edgeBufPoolCap {
+		p.free = append(p.free, s[:0])
+	}
+	p.mu.Unlock()
 }
 
 // outstandingBufs reports pooled batch buffers currently checked out.
@@ -319,55 +390,6 @@ func (rk *Rank) crashAt(p FaultPoint) error {
 		return nil
 	}
 	return rk.c.faults.crash(rk.id, p)
-}
-
-// send delivers a message to rank `to`, applying any armed transport
-// faults and updating traffic counters. It returns false without
-// delivering when the run is cancelled, when the sending rank's
-// scheduled crash fires, or when the message exhausts its redelivery
-// budget — in the last two cases the run is first cancelled with the
-// fault as its cause, so the failure is loud rather than a silently
-// missing edge batch.
-func (rk *Rank) send(to int, m Message) bool {
-	c := rk.c
-	m.Epoch = c.epoch
-	if f := c.faults; f != nil {
-		if err := f.crash(rk.id, FaultMidExchange); err != nil {
-			c.cancel(err)
-			return false
-		}
-		if to != rk.id {
-			ok, err := f.deliver(c.ctx, rk.id, to)
-			if err != nil {
-				c.cancel(err)
-				return false
-			}
-			if !ok {
-				return false
-			}
-		}
-	}
-	// Refuse delivery on a torn-down run before even attempting it: the
-	// select below picks randomly among ready cases, and a buffered inbox
-	// on a dead run would strand the batch (and its pooled buffer) where
-	// no receiver will ever drain it.
-	if rk.c.ctx.Err() != nil {
-		return false
-	}
-	select {
-	case rk.c.inboxes[to] <- m:
-	case <-rk.c.ctx.Done():
-		return false
-	}
-	atomic.AddInt64(&rk.c.stats.Messages, 1)
-	if len(m.Edges) > 0 && to != rk.id {
-		atomic.AddInt64(&rk.c.stats.EdgesRouted, int64(len(m.Edges)))
-		atomic.AddInt64(&rk.c.stats.BytesSent, int64(len(m.Edges))*edgeWireBytes)
-	}
-	if d := int64(len(rk.c.inboxes[to])); d > 0 {
-		atomicMax(&rk.c.stats.MaxInboxDepth, d)
-	}
-	return true
 }
 
 // atomicMax raises *addr to v if v is larger.

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -59,6 +60,55 @@ func BenchmarkOwnedVsRouted(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Sustained edge-generation rate of the blocked kernel across the rank
+// sweep the scaling argument is about — the headline metric of this
+// generator family (Sanders et al., Kepner et al.). Reports edges/s so
+// regressions in the routed hot path show up as rate, not just ns/op.
+func BenchmarkKernelRSweep(b *testing.B) {
+	a := gen.MustRMAT(gen.Graph500Params(5, 10))
+	bb := gen.MustRMAT(gen.Graph500Params(5, 11))
+	edges := a.NumArcs() * bb.NumArcs()
+	for _, r := range []int{1, 4, 16, 32} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			b.SetBytes(edges * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Generate1D(a, bb, r, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}
+
+// Batch-size sweep of the routed kernel at a fixed rank count — the
+// measurement behind DefaultBatchSize (README §Performance): too small
+// pays per-message overhead, too large blows the staging working set.
+func BenchmarkKernelBatchSize(b *testing.B) {
+	a := gen.MustRMAT(gen.Graph500Params(5, 10))
+	bb := gen.MustRMAT(gen.Graph500Params(5, 11))
+	edges := a.NumArcs() * bb.NumArcs()
+	for _, batch := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("B=%d", batch), func(b *testing.B) {
+			plan, err := Plan1D(a, bb, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(edges * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink := NewMemorySink(16)
+				sink.Hints = sourceHashLoads(a, bb, 16)
+				cfg := Config{Plan: plan, Owner: sourceHashOwner{}, Sink: sink, BatchSize: batch}
+				if _, err := Run(context.Background(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // Raw exchange throughput of the simulated transport, by cluster size:

@@ -3,11 +3,22 @@ package dist
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
 	"kronlab/internal/core"
 	"kronlab/internal/graph"
+)
+
+// Phase label contexts for runtime/pprof goroutine labels: profiles of an
+// engine run attribute samples to the kernel stage (phase=expand|route|
+// store) that was executing. Built once — SetGoroutineLabels per block is
+// a pointer swap, so labeling costs nothing measurable on the hot path.
+var (
+	expandLabels = pprof.WithLabels(context.Background(), pprof.Labels("phase", "expand"))
+	routeLabels  = pprof.WithLabels(context.Background(), pprof.Labels("phase", "route"))
+	storeLabels  = pprof.WithLabels(context.Background(), pprof.Labels("phase", "store"))
 )
 
 // Tile is one unit of expansion work: a slice of A-arcs crossed with a
@@ -44,7 +55,9 @@ func Plan1D(a, b *graph.Graph, r int) (Plan, error) {
 	if r < 1 {
 		return Plan{}, fmt.Errorf("dist: plan needs ≥ 1 rank, got %d", r)
 	}
-	parts := PartitionArcs(a.ArcList(), r)
+	// ArcSlice shares the factor's cached flat arc list: tiles only read
+	// their A-arc windows, so no per-plan copy is needed.
+	parts := PartitionArcs(a.ArcSlice(), r)
 	tiles := make([][]Tile, r)
 	for rk := 0; rk < r; rk++ {
 		tiles[rk] = []Tile{{ID: rk, AArcs: parts[rk], B: b}}
@@ -61,8 +74,8 @@ func Plan2D(a, b *graph.Graph, r int) (Plan, error) {
 		return Plan{}, fmt.Errorf("dist: plan needs ≥ 1 rank, got %d", r)
 	}
 	grid := NewGrid2D(r)
-	aParts := PartitionArcs(a.ArcList(), grid.RHalf)
-	bParts := PartitionArcs(b.ArcList(), grid.Q)
+	aParts := PartitionArcs(a.ArcSlice(), grid.RHalf)
+	bParts := PartitionArcs(b.ArcSlice(), grid.Q)
 	// Pre-build each B-part as a Graph so expansion can stream against
 	// CSR; vertex count is preserved so γ indices stay global.
 	bGraphs := make([]*graph.Graph, grid.Q)
@@ -137,11 +150,19 @@ type Recovery struct {
 type Config struct {
 	Plan Plan
 	// Owner routes each generated edge to the rank that stores it, over
-	// the batched all-to-all Exchange. A nil Owner skips the Route stage
-	// entirely: every edge goes straight to the generating rank's sink
-	// with zero communication (count-only and streaming runs).
-	Owner OwnerFunc
+	// the batched all-to-all exchange. It is bound once per attempt
+	// (Owner.Bind(R)), so r-dependent owner parameters resolve at plan
+	// time, not per edge. A nil Owner skips the Route stage entirely:
+	// every edge goes straight to the generating rank's sink with zero
+	// communication (count-only and streaming runs).
+	Owner Owner
 	Sink  Sink
+	// BatchSize is the per-destination edge count a routed exchange
+	// buffers before flushing a message (and the cadence of cancellation
+	// polls during fault-armed expansion). ≤ 0 selects DefaultBatchSize
+	// (1024, the benchmarked default). Correct for any value ≥ 1; per-rank
+	// staging memory is O(R·BatchSize).
+	BatchSize int
 	// Faults, when non-nil, arms the run's cluster with an injected
 	// fault schedule (see fault.go) — chaos testing of the teardown,
 	// redelivery and recovery paths. Nil injects nothing.
@@ -152,15 +173,17 @@ type Config struct {
 }
 
 // attemptSink is the engine-internal per-rank sink used by one run
-// attempt: a tile-aware store plus an end-of-attempt hook. The plain
-// adapter forwards to a RankSink and closes it when the attempt ends;
-// the supervisor's fenced sink suppresses replayed duplicates and keeps
-// the underlying RankSink open across attempts.
+// attempt: a tile-aware block store plus an end-of-attempt hook. The
+// plain adapter forwards to a RankSink and closes it when the attempt
+// ends; the supervisor's fenced sink suppresses replayed duplicate
+// prefixes and keeps the underlying RankSink open across attempts.
 type attemptSink interface {
-	// storeTile accepts one owned edge of the given plan tile. stored
-	// reports whether the edge was appended to the underlying sink
-	// (false: suppressed as a replayed duplicate).
-	storeTile(tile int, e graph.Edge) (stored bool, err error)
+	// storeBlock accepts one tile-framed batch of owned edges. stored
+	// reports how many of them were appended to the underlying sink
+	// (fewer: a replayed prefix was suppressed, or a store failed partway
+	// — checkpoint accounting needs the exact count either way). The
+	// block aliases an engine buffer recycled after the call returns.
+	storeBlock(tile int, edges []graph.Edge) (stored int64, err error)
 	// endAttempt runs after the rank's exchange (or direct expansion)
 	// has finished — even on teardown. It returns the number of
 	// duplicates suppressed this attempt (the balance collective's
@@ -170,19 +193,36 @@ type attemptSink interface {
 
 // plainAttemptSink adapts a RankSink for an unsupervised single-attempt
 // run: every edge stores, and the attempt's end closes the sink.
-type plainAttemptSink struct{ rs RankSink }
+type plainAttemptSink struct {
+	rs RankSink
+	bs BlockStorer // non-nil when rs implements the block fast path
+}
 
-func (p plainAttemptSink) storeTile(_ int, e graph.Edge) (bool, error) {
-	err := p.rs.Store(e)
-	return err == nil, err
+func newPlainAttemptSink(rs RankSink) plainAttemptSink {
+	bs, _ := rs.(BlockStorer)
+	return plainAttemptSink{rs: rs, bs: bs}
+}
+
+func (p plainAttemptSink) storeBlock(_ int, edges []graph.Edge) (int64, error) {
+	if p.bs != nil {
+		return p.bs.StoreBlock(edges)
+	}
+	for i, e := range edges {
+		if err := p.rs.Store(e); err != nil {
+			return int64(i), err
+		}
+	}
+	return int64(len(edges)), nil
 }
 
 func (p plainAttemptSink) endAttempt() (int64, error) { return 0, p.rs.Close() }
 
 // Run executes the Plan→Expand→Route→Sink engine: every rank expands its
-// planned tiles (the package's sole call into core's streaming product),
-// routes each edge through Config.Owner over the Exchange (or locally
-// when Owner is nil), and hands owned edges to its RankSink.
+// planned tiles through the blocked kernel (core.ExpandBlock, one A-arc
+// against all of B per block), routes whole blocks through Config.Owner
+// over the batched exchange (or locally when Owner is nil), and hands
+// owned edge batches to its RankSink — via BlockStorer when the sink
+// implements it, per-edge Store otherwise.
 //
 // Cancelling ctx tears the run down mid-exchange on every rank; the first
 // real error (a failed sink, or the cancellation cause) is returned.
@@ -212,20 +252,41 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		if err != nil {
 			return nil, err
 		}
-		return plainAttemptSink{rs}, nil
-	}, perGen, perStored)
+		return newPlainAttemptSink(rs), nil
+	}, perGen, perStored, cfg.batchSize())
 	st := c.Stats()
 	st.PerRankGenerated = perGen
 	st.PerRankStored = perStored
 	return st, runErr
 }
 
+// batchSize resolves Config.BatchSize against the default.
+func (cfg Config) batchSize() int {
+	if cfg.BatchSize > 0 {
+		return cfg.BatchSize
+	}
+	return DefaultBatchSize
+}
+
 // runAttempt executes one attempt of the engine on an already-built
-// cluster: every rank expands the tiles assigned to it, routes edges via
-// owner over the epoch-fenced exchange (or stores locally when owner is
-// nil), and hands owned edges to the attemptSink sinkFor returns for it.
-// perGen/perStored receive this attempt's per-rank counters.
-func runAttempt(ctx context.Context, c *Cluster, owner OwnerFunc, tiles [][]Tile, sinkFor func(*Rank) (attemptSink, error), perGen, perStored []int64) error {
+// cluster: every rank expands the tiles assigned to it through the
+// blocked kernel (core.ExpandBlock into a reused scratch block), routes
+// whole blocks via the plan-bound owner over the epoch-fenced exchange
+// (or stores them locally when owner is nil), and hands owned batches to
+// the attemptSink sinkFor returns for it. perGen/perStored receive this
+// attempt's per-rank counters.
+//
+// Expansion order is exactly the reference StreamProductArcs order —
+// A-arcs in tile order, each crossed with B's CSR arcs — and blocks are
+// partitioned into per-destination batches in encounter order, so the
+// per-(tile, destination) substream is byte-identical across attempts.
+// That determinism is what tile checkpoints and prefix-dedup recovery
+// key on; the blocked kernel changes batching granularity, never order.
+func runAttempt(ctx context.Context, c *Cluster, owner Owner, tiles [][]Tile, sinkFor func(*Rank) (attemptSink, error), perGen, perStored []int64, batch int) error {
+	var bound BoundOwnerFunc
+	if owner != nil {
+		bound = owner.Bind(c.r)
+	}
 	return c.RunContext(ctx, func(rk *Rank) error {
 		if err := rk.crashAt(FaultBeforeSinkSetup); err != nil {
 			return err
@@ -235,89 +296,134 @@ func runAttempt(ctx context.Context, c *Cluster, owner OwnerFunc, tiles [][]Tile
 			return fmt.Errorf("dist: rank %d sink: %w", rk.ID(), err)
 		}
 		var generated, stored int64
-		var sinkErr, crashErr error
-		// store hands one owned edge to the rank's sink. Under routing it
-		// runs on the exchange's receiver goroutine; sinkErr is read back
-		// only after the exchange returns (happens-before via its done
-		// channel), and the cancel tears down the producing ranks.
-		store := func(tile int, e graph.Edge) {
-			if sinkErr != nil {
-				return
+		var sinkErr, crashErr, xErr error
+		// Fault-armed runs take the per-edge reference cadence below so
+		// crash countdowns keep edge granularity; clean runs never branch
+		// into it.
+		faulty := c.faults != nil
+		// Scratch block reused across every A-arc of every tile. A-arcs
+		// expand against B in chunks of ≤ batch arcs, so the scratch is
+		// the exchange's buffer size class and checks out of the same
+		// freelist — expansion allocates nothing in steady state and
+		// per-rank memory stays O(|E_A|/R + |E_B| + R·batch) even when
+		// this rank's B factor is large.
+		scratch := c.getBuf(batch)
+		// poll checks for run teardown: sends only notice a torn-down run
+		// when a flush fails, and the buffered inboxes can absorb a lot
+		// before one does — poll once per block (or per batch of edges on
+		// the fault-armed path) so cancellation stops expansion promptly.
+		poll := func() bool {
+			select {
+			case <-rk.c.ctx.Done():
+				xErr = context.Cause(rk.c.ctx)
+				return true
+			default:
+				return false
 			}
-			ok, err := as.storeTile(tile, e)
+		}
+		// perEdge drives a block through edge-granular fault windows — the
+		// cadence the chaos schedules count mid-expansion crash hits in. A
+		// scheduled crash cancels the run immediately: a dead process
+		// stops sending, it does not flush EOF markers. f receives
+		// one-edge sub-blocks so both paths share the block plumbing.
+		perEdge := func(tile int, block []graph.Edge, f func(tile int, es []graph.Edge) bool) bool {
+			for i := range block {
+				if err := rk.crashAt(FaultMidExpansion); err != nil {
+					crashErr = err
+					rk.c.cancel(err)
+					return false
+				}
+				generated++
+				if !f(tile, block[i:i+1:i+1]) {
+					return false
+				}
+				if generated%int64(batch) == 0 && poll() {
+					return false
+				}
+			}
+			return true
+		}
+		// expandTiles is the Expand stage: each A-arc of each tile expands
+		// against the whole B factor into the scratch block, and
+		// handleBlock routes or stores it. handleBlock returns false to
+		// stop early (teardown, sink failure, or an injected crash).
+		expandTiles := func(handleBlock func(tile int, block []graph.Edge) bool) {
+			for _, t := range tiles[rk.ID()] {
+				bArcs := t.B.ArcSlice()
+				nB := t.B.NumVertices()
+				for _, aArc := range t.AArcs {
+					for lo := 0; lo < len(bArcs); lo += batch {
+						hi := lo + batch
+						if hi > len(bArcs) {
+							hi = len(bArcs)
+						}
+						pprof.SetGoroutineLabels(expandLabels)
+						// Chunks walk bArcs in CSR order, so the
+						// reference expansion order is preserved exactly.
+						block := core.ExpandBlock(aArc, bArcs[lo:hi], nB, scratch)
+						scratch = block[:0]
+						if !handleBlock(t.ID, block) {
+							return
+						}
+					}
+				}
+			}
+		}
+		// deliver hands one owned batch to the rank's sink. Under routing
+		// it runs inline from the exchange's progress engine — same
+		// goroutine as expansion — and the cancel tears down the other
+		// ranks' producers.
+		deliver := func(tile int, edges []graph.Edge) bool {
+			if sinkErr != nil {
+				return false
+			}
+			n, err := as.storeBlock(tile, edges)
+			stored += n
 			if err != nil {
 				sinkErr = err
 				rk.c.cancel(err)
-				return
+				return false
 			}
-			if ok {
-				stored++
-			}
+			return true
 		}
-		// expand streams this rank's tiles — the engine's Expand stage.
-		// A scheduled mid-expansion crash cancels the run immediately:
-		// a dead process stops sending, it does not flush EOF markers.
-		expand := func(yield func(tile int, e graph.Edge) bool) {
-			for _, t := range tiles[rk.ID()] {
-				ok := true
-				tid := t.ID
-				core.StreamProductArcs(t.AArcs, t.B, func(u, v int64) bool {
-					if err := rk.crashAt(FaultMidExpansion); err != nil {
-						crashErr = err
-						rk.c.cancel(err)
-						ok = false
-						return false
-					}
-					generated++
-					ok = yield(tid, graph.Edge{U: u, V: v})
-					return ok
-				})
-				if !ok {
-					return
-				}
-			}
-		}
-		var xErr error
 		if owner != nil {
-			r := rk.Size()
-			xErr = rk.exchangeTiles(func(emit func(to, tile int, e graph.Edge) bool) {
-				expand(func(tile int, e graph.Edge) bool {
-					if !emit(owner(e.U, e.V, r), tile, e) {
+			xErr = rk.exchangeBlocks(batch, func(s *shipper) {
+				stageOne := func(tile int, es []graph.Edge) bool {
+					e := es[0]
+					return s.stage(bound(e.U, e.V), tile, e)
+				}
+				expandTiles(func(tile int, block []graph.Edge) bool {
+					pprof.SetGoroutineLabels(routeLabels)
+					if faulty {
+						return perEdge(tile, block, stageOne)
+					}
+					if !s.route(tile, block, bound) {
 						return false
 					}
-					// Sends only notice a torn-down run when a flush fails,
-					// and the buffered inboxes can absorb a lot before one
-					// does — poll the run context once per batch so
-					// cancellation stops expansion promptly either way.
-					if generated%batchSize == 0 {
-						select {
-						case <-rk.c.ctx.Done():
-							return false
-						default:
-						}
-					}
-					return true
+					generated += int64(len(block))
+					return !poll()
 				})
-			}, store)
+			}, func(tile int, edges []graph.Edge) {
+				// Delivery runs inline on this goroutine (progress on
+				// send), so the store label is swapped in per batch; the
+				// next block's expand/route labels swap it back out.
+				pprof.SetGoroutineLabels(storeLabels)
+				deliver(tile, edges)
+			})
 		} else {
-			expand(func(tile int, e graph.Edge) bool {
-				store(tile, e)
-				if sinkErr != nil {
+			expandTiles(func(tile int, block []graph.Edge) bool {
+				pprof.SetGoroutineLabels(storeLabels)
+				if faulty {
+					return perEdge(tile, block, deliver)
+				}
+				generated += int64(len(block))
+				if !deliver(tile, block) {
 					return false
 				}
-				// Unrouted sinks may never error (count-only); poll the
-				// run context once per batch so cancellation still lands.
-				if generated%batchSize == 0 {
-					select {
-					case <-rk.c.ctx.Done():
-						xErr = context.Cause(rk.c.ctx)
-						return false
-					default:
-					}
-				}
-				return true
+				return !poll()
 			})
 		}
+		c.putBuf(scratch)
 		atomic.AddInt64(&rk.c.stats.EdgesGenerated, generated)
 		perGen[rk.ID()] = generated
 		perStored[rk.ID()] = stored

@@ -7,10 +7,14 @@ import (
 	"kronlab/internal/graph"
 )
 
-// batchSize is the number of edges buffered per destination before a
-// message is flushed, mirroring the aggregation HPC generators use to
-// amortize message overhead.
-const batchSize = 1024
+// DefaultBatchSize is the number of edges buffered per destination before
+// a message is flushed when Config.BatchSize is unset, mirroring the
+// aggregation HPC generators use to amortize message overhead. 1024 is
+// the benchmarked sweet spot on the simulated transport (README
+// §Performance): smaller batches pay per-message overhead, much larger
+// ones only grow per-rank staging memory (O(R·BatchSize)) without
+// measurable throughput gain.
+const DefaultBatchSize = 1024
 
 // Exchange runs one all-to-all edge exchange on this rank. produce is
 // called with an emit function that routes a single edge to a destination
@@ -25,107 +29,338 @@ const batchSize = 1024
 // Batch buffers are pooled: a delivered Message's Edges slice is recycled
 // after handle has seen its edges, so handle must copy any edge it
 // retains (graph.Edge values are copied by normal assignment/append).
+//
+// Exchange is the legacy per-edge surface over exchangeBlocks, kept for
+// callers that route edges one at a time; the engine itself ships whole
+// expansion blocks through shipper.route.
 func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge) bool), handle func(e graph.Edge)) error {
-	return rk.exchangeTiles(func(emit func(to, tile int, e graph.Edge) bool) {
-		produce(func(to int, e graph.Edge) bool { return emit(to, 0, e) })
-	}, func(_ int, e graph.Edge) { handle(e) })
+	return rk.exchangeBlocks(DefaultBatchSize, func(s *shipper) {
+		produce(func(to int, e graph.Edge) bool { return s.stage(to, 0, e) })
+	}, func(_ int, edges []graph.Edge) {
+		for _, e := range edges {
+			handle(e)
+		}
+	})
 }
 
-// exchangeTiles is Exchange with tile framing and epoch fencing — the
-// transport the supervised engine runs on. Every batch carries the plan
-// tile its edges came from (emit's tile argument; buffers flush at tile
-// boundaries so batches never mix tiles) and the run epoch stamped by
-// send. The receiver drops whole batches from another epoch — residue a
-// previous attempt could in principle leave behind — counting them in
-// Stats.StaleBatches, so a recovering run can never double-apply or
-// misattribute a stale batch. Within one attempt all epochs match and the
-// fence is a single comparison per batch.
-//
-// Internally the receiver runs concurrently with the producer so inbox
-// buffers drain while expansion is still running — the same overlap of
-// generation and communication an asynchronous MPI implementation gets.
-func (rk *Rank) exchangeTiles(produce func(emit func(to, tile int, e graph.Edge) bool), handle func(tile int, e graph.Edge)) error {
-	c := rk.c
-	epoch := c.epoch
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		eofs := 0
-		for eofs < c.r {
-			select {
-			case m := <-c.inboxes[rk.id]:
-				if m.Epoch != epoch {
-					// Epoch fence: a batch from another attempt is dropped
-					// whole (its EOF marker included — the attempt it ends
-					// is already torn down).
-					atomic.AddInt64(&c.stats.StaleBatches, 1)
-					c.putBuf(m.Edges)
-					continue
-				}
-				for _, e := range m.Edges {
-					handle(m.Tile, e)
-				}
-				if m.EOF {
-					eofs++
-				}
-				c.putBuf(m.Edges)
-			case <-c.ctx.Done():
-				return
-			}
-		}
-	}()
+// shipper stages outgoing edges into pooled per-destination batch
+// buffers and flushes them through Rank.send. Buffers flush at tile
+// boundaries (so a batch never mixes tiles — the framing recovering
+// sinks deduplicate on) and at the batch threshold. Each flush hands the
+// staged buffer to the transport and immediately checks out a fresh one
+// from the pool, so staging the next batch overlaps the in-flight
+// delivery — per-destination double buffering.
+type shipper struct {
+	rk      *Rank
+	c       *Cluster
+	rx      *receiver
+	batch   int
+	bufs    [][]graph.Edge // staged batch per destination (nil until targeted)
+	tile    []int          // tile of the staged batch, per destination
+	nspare  int
+	spare   [spareCap][]graph.Edge // rank-local recycled buffers (lock-free)
+	aborted bool
+}
 
-	aborted := false
-	buf := make([][]graph.Edge, c.r)
-	cur := make([]int, c.r) // tile of the staged batch, per destination
-	flush := func(to int, eof bool) bool {
-		if len(buf[to]) == 0 && !eof {
-			return true
-		}
-		if !rk.send(to, Message{From: rk.id, Tile: cur[to], Edges: buf[to], EOF: eof}) {
-			return false
-		}
-		buf[to] = nil
-		return true
+// spareCap bounds the rank-local spare stack; releases beyond it spill
+// to the shared freelist one at a time (rare: it means this rank is
+// receiving far more batches than it sends). The stack is an array
+// embedded in the shipper so recycling allocates nothing at all.
+const spareCap = 64
+
+// getBuf returns an empty staging buffer: the rank-local spare stack
+// first — every batch this rank receives refills it, so in steady state
+// recycling never touches the shared freelist or its lock — then a bulk
+// refill from the shared freelist, then a fresh allocation. Exchange is
+// single-goroutine per rank (inline progress engine), which is what
+// makes the spare stack safe without synchronization.
+func (s *shipper) getBuf() []graph.Edge {
+	if s.nspare == 0 {
+		s.nspare = len(poolFill(s.spare[:0], 8))
 	}
-	emit := func(to, tile int, e graph.Edge) bool {
-		if aborted {
+	atomic.AddInt64(&s.c.bufsOut, 1)
+	if s.nspare > 0 {
+		s.nspare--
+		b := s.spare[s.nspare]
+		s.spare[s.nspare] = nil
+		return b
+	}
+	return make([]graph.Edge, 0, s.batch)
+}
+
+// release recycles a delivered or abandoned batch buffer into the spare
+// stack. Buffers in spare are in the same not-checked-out state as the
+// shared freelist's, so the exchange spills them back there when it ends
+// (one lock for the lot).
+func (s *shipper) release(b []graph.Edge) {
+	if cap(b) == 0 {
+		return
+	}
+	atomic.AddInt64(&s.c.bufsOut, -1)
+	if s.nspare < spareCap {
+		s.spare[s.nspare] = b[:0]
+		s.nspare++
+		return
+	}
+	poolSpill([][]graph.Edge{b})
+}
+
+// receiver is the inline progress engine of one rank's exchange. The
+// rank drains its own inbox from its producing goroutine — inside a send
+// that would otherwise block, opportunistically after every flush, and
+// while waiting for EOF markers at the end — the way an MPI library
+// progresses receives inside blocking sends. One goroutine per rank
+// means a delivered batch is handled on the core that just staged
+// outgoing ones (cache-warm on the simulated single-box cluster) and the
+// transport needs no receiver goroutines or completion channels at all.
+type receiver struct {
+	c      *Cluster
+	s      *shipper // for rank-local buffer recycling
+	id     int
+	epoch  int64
+	eofs   int
+	handle func(tile int, edges []graph.Edge)
+}
+
+// recv applies one delivered message: epoch fence, handler, buffer
+// recycling, EOF accounting.
+func (rx *receiver) recv(m Message) {
+	if m.Epoch != rx.epoch {
+		// Epoch fence: a batch from another attempt is dropped whole
+		// (its EOF marker included — the attempt it ends is already
+		// torn down).
+		atomic.AddInt64(&rx.c.stats.StaleBatches, 1)
+		rx.s.release(m.Edges)
+		return
+	}
+	if len(m.Edges) > 0 {
+		rx.handle(m.Tile, m.Edges)
+	}
+	rx.s.release(m.Edges)
+	if m.EOF {
+		rx.eofs++
+	}
+}
+
+// progress drains every message already buffered in the rank's inbox
+// without blocking — a no-op select when the inbox is empty.
+func (rx *receiver) progress() {
+	inbox := rx.c.inboxes[rx.id]
+	for {
+		select {
+		case m := <-inbox:
+			rx.recv(m)
+		default:
+			return
+		}
+	}
+}
+
+// send delivers one message to a peer's inbox, observing scheduled
+// faults and updating traffic counters. It returns false without
+// delivering when the run is cancelled, when the sending rank's
+// scheduled crash fires, or when the message exhausts its redelivery
+// budget — in the last two cases the run is first cancelled with the
+// fault as its cause, so the failure is loud rather than a silently
+// missing edge batch.
+//
+// Rank-local messages skip the inbox: with the receiver inline on the
+// sending goroutine the batch is applied directly, as an MPI rank does
+// for self-addressed traffic. While a cross-rank send blocks on a full
+// inbox, the rank receives from its own inbox instead of spinning — the
+// progress that makes the inline engine deadlock-free: any rank with a
+// full inbox is itself one recv away from making space.
+func (s *shipper) send(to int, m Message) bool {
+	rk, c := s.rk, s.c
+	m.Epoch = c.epoch
+	if f := c.faults; f != nil {
+		if err := f.crash(rk.id, FaultMidExchange); err != nil {
+			c.cancel(err)
 			return false
 		}
-		if buf[to] != nil && cur[to] != tile {
-			// Tile boundary: ship the previous tile's batch so a batch
-			// never mixes tiles. Boundaries are rare (tiles are large),
-			// so the partial flush costs nothing on the hot path.
-			if !flush(to, false) {
-				aborted = true
+		if to != rk.id {
+			ok, err := f.deliver(c.ctx, rk.id, to)
+			if err != nil {
+				c.cancel(err)
+				return false
+			}
+			if !ok {
 				return false
 			}
 		}
-		if buf[to] == nil {
-			buf[to] = c.getBuf()
-			cur[to] = tile
-		}
-		buf[to] = append(buf[to], e)
-		if len(buf[to]) >= batchSize && !flush(to, false) {
-			aborted = true
-			return false
-		}
+	}
+	// Refuse delivery on a torn-down run before even attempting it: a
+	// buffered inbox on a dead run would strand the batch (and its
+	// pooled buffer) where no receiver will ever drain it.
+	if c.ctx.Err() != nil {
+		return false
+	}
+	if to == rk.id {
+		atomic.AddInt64(&c.stats.Messages, 1)
+		s.rx.recv(m)
 		return true
 	}
-	produce(emit)
-	for to := 0; to < c.r && !aborted; to++ {
-		if !flush(to, true) {
-			aborted = true
+	own := c.inboxes[rk.id]
+	for {
+		select {
+		case c.inboxes[to] <- m:
+			atomic.AddInt64(&c.stats.Messages, 1)
+			if len(m.Edges) > 0 {
+				atomic.AddInt64(&c.stats.EdgesRouted, int64(len(m.Edges)))
+				atomic.AddInt64(&c.stats.BytesSent, int64(len(m.Edges))*edgeWireBytes)
+			}
+			if d := int64(len(c.inboxes[to])); d > 0 {
+				atomicMax(&c.stats.MaxInboxDepth, d)
+			}
+			return true
+		case m2 := <-own:
+			s.rx.recv(m2)
+		case <-c.ctx.Done():
+			return false
 		}
 	}
-	<-done
-	if aborted || c.ctx.Err() != nil {
+}
+
+// flush ships the staged batch for one destination (or a bare EOF
+// marker). On failure the shipper is aborted: the run is torn down and
+// nothing more will be accepted.
+func (s *shipper) flush(to int, eof bool) bool {
+	b := s.bufs[to]
+	if len(b) == 0 && !eof {
+		return true
+	}
+	if !s.send(to, Message{From: s.rk.id, Tile: s.tile[to], Edges: b, EOF: eof}) {
+		s.aborted = true
+		return false
+	}
+	if eof {
+		s.bufs[to] = nil
+	} else {
+		// Double buffer: the sent batch is recycled by the receiver;
+		// check out a replacement now so staging never waits on it.
+		s.bufs[to] = s.getBuf()
+		// Drain our own backlog while we are here so in-flight buffers
+		// stay O(R + inbox) instead of piling up until the EOF drain.
+		s.rx.progress()
+	}
+	return true
+}
+
+// route radix-partitions one expansion block across the per-destination
+// staging buffers: owner is bound at plan time, so the loop body is the
+// owner hash, an append and a threshold check per edge — the routed hot
+// path of the blocked kernel.
+func (s *shipper) route(tile int, block []graph.Edge, owner BoundOwnerFunc) bool {
+	if s.aborted {
+		return false
+	}
+	bufs, tiles := s.bufs, s.tile
+	for _, e := range block {
+		to := owner(e.U, e.V)
+		b := bufs[to]
+		if len(b) == 0 {
+			if b == nil {
+				b = s.getBuf()
+			}
+			tiles[to] = tile
+		} else if tiles[to] != tile {
+			// Tile boundary: ship the previous tile's partial batch so a
+			// batch never mixes tiles. Boundaries are rare (tiles are
+			// large), so this costs nothing on the hot path.
+			if !s.flush(to, false) {
+				return false
+			}
+			b = bufs[to]
+			tiles[to] = tile
+		}
+		b = append(b, e)
+		bufs[to] = b
+		if len(b) >= s.batch && !s.flush(to, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// stage routes a single edge — the per-edge reference path used by the
+// legacy Exchange surface and by fault-armed runs, which need
+// edge-granular crash windows between stages. Identical staging and
+// flush behavior to route, one edge at a time.
+func (s *shipper) stage(to, tile int, e graph.Edge) bool {
+	if s.aborted {
+		return false
+	}
+	b := s.bufs[to]
+	if len(b) == 0 {
+		if b == nil {
+			b = s.getBuf()
+		}
+		s.tile[to] = tile
+	} else if s.tile[to] != tile {
+		if !s.flush(to, false) {
+			return false
+		}
+		b = s.bufs[to]
+		s.tile[to] = tile
+	}
+	b = append(b, e)
+	s.bufs[to] = b
+	if len(b) >= s.batch && !s.flush(to, false) {
+		return false
+	}
+	return true
+}
+
+// exchangeBlocks is the batched all-to-all transport the engine runs on:
+// produce stages outgoing edges through the shipper, handle receives
+// whole delivered batches with their tile framing. Every batch carries
+// the plan tile its edges came from (buffers flush at tile boundaries so
+// batches never mix tiles) and the run epoch stamped by send. The
+// receiver drops whole batches from another epoch — residue a previous
+// attempt could in principle leave behind — counting them in
+// Stats.StaleBatches, so a recovering run can never double-apply or
+// misattribute a stale batch. Within one attempt all epochs match and
+// the fence is a single comparison per batch.
+//
+// Receiving is inline — progress on send — so inbox buffers drain while
+// expansion is still running without a receiver goroutine per rank: the
+// rank drains opportunistically at every flush and inside any send that
+// blocks, then waits out the remaining EOF markers after producing. A
+// delivered batch's Edges slice is recycled after handle returns, so
+// handle must copy edges it retains.
+func (rk *Rank) exchangeBlocks(batch int, produce func(s *shipper), handle func(tile int, edges []graph.Edge)) error {
+	c := rk.c
+	s := &shipper{rk: rk, c: c, batch: batch,
+		rx:   &receiver{c: c, id: rk.id, epoch: c.epoch, handle: handle},
+		bufs: make([][]graph.Edge, c.r), tile: make([]int, c.r)}
+	s.rx.s = s
+	defer func() {
+		// Return the rank-local spares to the shared freelist in one
+		// locked push, so the next run (or cluster) starts warm.
+		poolSpill(s.spare[:s.nspare])
+		s.nspare = 0
+	}()
+	produce(s)
+	for to := 0; to < c.r && !s.aborted; to++ {
+		s.flush(to, true)
+	}
+	// Drain until every rank's EOF marker (our own included) arrives.
+	inbox := c.inboxes[rk.id]
+	for !s.aborted && s.rx.eofs < c.r {
+		select {
+		case m := <-inbox:
+			s.rx.recv(m)
+		case <-c.ctx.Done():
+			s.aborted = true
+		}
+	}
+	if s.aborted || c.ctx.Err() != nil {
 		// Nothing will deliver the staged batches now; recycle them or
 		// they leak from the pool on every aborted run.
-		for to := range buf {
-			if buf[to] != nil {
-				c.putBuf(buf[to])
-				buf[to] = nil
+		for to := range s.bufs {
+			if s.bufs[to] != nil {
+				s.release(s.bufs[to])
+				s.bufs[to] = nil
 			}
 		}
 		return context.Cause(c.ctx)
@@ -133,44 +368,92 @@ func (rk *Rank) exchangeTiles(produce func(emit func(to, tile int, e graph.Edge)
 	return nil
 }
 
-// OwnerFunc maps a product edge to the rank that stores it. The paper
-// leaves the storage mapping open ("some mapping scheme"); the functions
-// below provide the common choices.
+// OwnerFunc maps a product edge to the rank that stores it, given the
+// cluster size. The paper leaves the storage mapping open ("some mapping
+// scheme"); the functions below provide the common choices. An OwnerFunc
+// is an Owner: its generic Bind closes over r. Owners whose per-edge
+// work depends on r (OwnerByBlock's block size) should implement Owner
+// directly so Bind resolves that work once — see BlockOwner.
 type OwnerFunc func(u, v int64, r int) int
+
+// BoundOwnerFunc is an owner map with the cluster size already resolved —
+// what the routed kernel calls per edge in its hottest loop.
+type BoundOwnerFunc func(u, v int64) int
+
+// Owner maps generated edges to storing ranks. Bind is called once per
+// run attempt with the cluster size, so implementations resolve every
+// r-dependent parameter at plan time and return pure per-edge
+// arithmetic. Config.Owner must be a nil interface (not a typed nil) to
+// disable routing.
+type Owner interface {
+	Bind(r int) BoundOwnerFunc
+}
+
+// Bind implements Owner by closing over r.
+func (f OwnerFunc) Bind(r int) BoundOwnerFunc {
+	return func(u, v int64) int { return f(u, v, r) }
+}
 
 // OwnerBySource assigns edges to ranks by a multiplicative hash of the
 // source endpoint — 1D vertex partitioning of the product graph.
-func OwnerBySource(u, _ int64, r int) int {
+var OwnerBySource OwnerFunc = func(u, _ int64, r int) int {
 	h := uint64(u) * 0x9e3779b97f4a7c15
 	return int(h % uint64(r))
 }
 
+// sourceHashOwner is OwnerBySource in pre-bound form: Bind returns a
+// closure with the hash inlined, so the routed hot loop pays one
+// indirect call per edge instead of the two (bound wrapper → OwnerFunc)
+// the generic OwnerFunc.Bind costs. The engine substitutes it for a nil
+// owner; both forms compute identical destinations.
+type sourceHashOwner struct{}
+
+// Bind implements Owner.
+func (sourceHashOwner) Bind(r int) BoundOwnerFunc {
+	rr := uint64(r)
+	return func(u, _ int64) int {
+		return int((uint64(u) * 0x9e3779b97f4a7c15) % rr)
+	}
+}
+
 // OwnerByEdge hashes both endpoints, spreading even a single hub vertex's
 // edges across ranks (2D-style edge partitioning).
-func OwnerByEdge(u, v int64, r int) int {
+var OwnerByEdge OwnerFunc = func(u, v int64, r int) int {
 	h := uint64(u)*0x9e3779b97f4a7c15 ^ (uint64(v)*0xc2b2ae3d27d4eb4f + 0x165667b19e3779f9)
 	return int(h % uint64(r))
 }
 
-// blockParams caches the per-rank block size for one cluster size r, so
-// the hot per-edge closure does a single division instead of recomputing
-// ⌈nC/r⌉ on every call.
-type blockParams struct {
-	r   int
-	per int64
+// BlockOwner assigns contiguous source-vertex blocks of size ⌈NC/r⌉ —
+// the layout a CSR-partitioned distributed graph store would use. It is
+// the plan-resolved form of OwnerByBlock: Bind fixes the block size
+// once, so the per-edge hot loop is a bare division (benchmarked in
+// owner_bench_test.go against the unbound and the retired
+// atomically-cached forms).
+type BlockOwner struct {
+	NC int64 // product vertex count n_A·n_B
 }
 
-// OwnerByBlock assigns contiguous source-vertex blocks of size nC/r —
-// the layout a CSR-partitioned distributed graph store would use.
-func OwnerByBlock(nC int64) OwnerFunc {
-	var cache atomic.Pointer[blockParams]
-	return func(u, _ int64, r int) int {
-		p := cache.Load()
-		if p == nil || p.r != r {
-			p = &blockParams{r: r, per: (nC + int64(r) - 1) / int64(r)}
-			cache.Store(p)
+// Bind implements Owner.
+func (o BlockOwner) Bind(r int) BoundOwnerFunc {
+	per := (o.NC + int64(r) - 1) / int64(r)
+	last := r - 1
+	return func(u, _ int64) int {
+		d := int(u / per)
+		if d > last {
+			d = last
 		}
-		o := int(u / p.per)
+		return d
+	}
+}
+
+// OwnerByBlock is BlockOwner in OwnerFunc form, for callers that carry
+// owner maps as plain functions. The block size is recomputed per call;
+// routed engine runs should pass BlockOwner directly so it is resolved
+// once at plan time instead.
+func OwnerByBlock(nC int64) OwnerFunc {
+	return func(u, _ int64, r int) int {
+		per := (nC + int64(r) - 1) / int64(r)
+		o := int(u / per)
 		if o >= r {
 			o = r - 1
 		}

@@ -17,10 +17,32 @@ import (
 // survives the simulated rank's death — which it does, because a crashed
 // rank is a returned goroutine, not a lost process image.
 
+// BlockStorer is an optional RankSink fast path: the engine delivers a
+// whole tile-framed batch in one call instead of per-edge Store calls.
+// StoreBlock reports how many of the block's edges were durably stored
+// before any error — exactly-once checkpoint accounting needs the exact
+// count even on a partial failure. The block aliases an engine buffer
+// recycled after the call returns; implementations must copy edges they
+// retain (append of graph.Edge values copies).
+type BlockStorer interface {
+	StoreBlock(edges []graph.Edge) (int64, error)
+}
+
 // MemorySink collects each rank's owned edges in an in-memory slice —
 // the Result-producing sink behind Generate1D/Generate2D.
 type MemorySink struct {
 	PerRank [][]graph.Edge
+	// Hint, when > 0, pre-sizes each rank's buffer — typically the ideal
+	// per-rank share |E_C|/R, which generation plans know exactly up
+	// front (the paper's arc count is ground truth before expansion).
+	// Skewed owner maps still grow past it by normal append doubling.
+	Hint int64
+	// Hints, when non-nil, pre-sizes rank i's buffer to Hints[i] and
+	// overrides Hint — for owner maps whose exact per-rank loads are
+	// ground truth too (product out-degrees factor as
+	// deg_C(γ(i,k)) = deg_A(i)·deg_B(k), so source-keyed owners have
+	// exactly computable storage; see generate).
+	Hints []int64
 }
 
 // NewMemorySink returns a sink for r ranks.
@@ -30,7 +52,15 @@ func NewMemorySink(r int) *MemorySink {
 
 // Rank implements Sink.
 func (s *MemorySink) Rank(rk *Rank) (RankSink, error) {
-	return &memRankSink{s: s, id: rk.ID()}, nil
+	m := &memRankSink{s: s, id: rk.ID()}
+	hint := s.Hint
+	if s.Hints != nil {
+		hint = s.Hints[rk.ID()]
+	}
+	if hint > 0 {
+		m.buf = make([]graph.Edge, 0, hint)
+	}
+	return m, nil
 }
 
 type memRankSink struct {
@@ -42,6 +72,12 @@ type memRankSink struct {
 func (m *memRankSink) Store(e graph.Edge) error {
 	m.buf = append(m.buf, e)
 	return nil
+}
+
+// StoreBlock implements BlockStorer: one append per delivered batch.
+func (m *memRankSink) StoreBlock(edges []graph.Edge) (int64, error) {
+	m.buf = append(m.buf, edges...)
+	return int64(len(edges)), nil
 }
 
 func (m *memRankSink) Close() error {
@@ -72,6 +108,12 @@ type countRankSink struct {
 func (c *countRankSink) Store(graph.Edge) error {
 	c.n++
 	return nil
+}
+
+// StoreBlock implements BlockStorer: counting a batch is one add.
+func (c *countRankSink) StoreBlock(edges []graph.Edge) (int64, error) {
+	c.n += int64(len(edges))
+	return int64(len(edges)), nil
 }
 
 func (c *countRankSink) Close() error {
@@ -121,6 +163,17 @@ func (t *storeRankSink) Store(e graph.Edge) error {
 	return t.sw.Append(e.U, e.V)
 }
 
+// StoreBlock implements BlockStorer, reporting how far a failing batch
+// got so checkpoint accounting stays exact.
+func (t *storeRankSink) StoreBlock(edges []graph.Edge) (int64, error) {
+	for i, e := range edges {
+		if err := t.sw.Append(e.U, e.V); err != nil {
+			return int64(i), err
+		}
+	}
+	return int64(len(edges)), nil
+}
+
 func (t *storeRankSink) Close() error {
 	t.s.counts[t.id] = t.sw.Count()
 	return t.sw.Close()
@@ -133,7 +186,9 @@ type streamSink struct {
 	ctx   context.Context
 	ch    chan []graph.Edge
 	batch int
-	pool  sync.Pool
+
+	mu   sync.Mutex
+	free [][]graph.Edge
 
 	messages int64
 	routed   int64
@@ -145,17 +200,28 @@ func newStreamSink(ctx context.Context, batch, depth int) *streamSink {
 }
 
 func (s *streamSink) getBuf() []graph.Edge {
-	if v := s.pool.Get(); v != nil {
-		return v.([]graph.Edge)[:0]
+	s.mu.Lock()
+	if k := len(s.free); k > 0 {
+		b := s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+		s.mu.Unlock()
+		return b
 	}
+	s.mu.Unlock()
 	return make([]graph.Edge, 0, s.batch)
 }
 
-// recycle returns a consumed batch to the pool.
+// recycle returns a consumed batch to the pool. A freelist stack rather
+// than a sync.Pool: pushing a slice header onto a slice does not box it
+// into an interface, so recycling is allocation-free (see edgeBufPool).
 func (s *streamSink) recycle(b []graph.Edge) {
-	if cap(b) > 0 {
-		s.pool.Put(b[:0]) //nolint:staticcheck // slice headers are cheap to box
+	if cap(b) == 0 {
+		return
 	}
+	s.mu.Lock()
+	s.free = append(s.free, b[:0])
+	s.mu.Unlock()
 }
 
 // Rank implements Sink.
@@ -179,6 +245,31 @@ func (t *streamRankSink) Store(e graph.Edge) error {
 		return t.flush()
 	}
 	return nil
+}
+
+// StoreBlock implements BlockStorer: the batch is copied into the rank
+// buffer in chunks that honor the flush threshold. Edges count as stored
+// once buffered — buffered edges survive attempts (see the type comment),
+// so this matches Store's exactly-once accounting.
+func (t *streamRankSink) StoreBlock(edges []graph.Edge) (int64, error) {
+	var stored int64
+	for len(edges) > 0 {
+		if room := t.s.batch - len(t.buf); room > 0 {
+			n := len(edges)
+			if n > room {
+				n = room
+			}
+			t.buf = append(t.buf, edges[:n]...)
+			stored += int64(n)
+			edges = edges[n:]
+		}
+		if len(t.buf) >= t.s.batch {
+			if err := t.flush(); err != nil {
+				return stored, err
+			}
+		}
+	}
+	return stored, nil
 }
 
 // flush hands the current batch to the consumer, accounting it as routed

@@ -54,7 +54,7 @@ func Stream(ctx context.Context, a, b *graph.Graph, r int, twoD bool, batch int,
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		st, runErr = Run(ctx, Config{Plan: plan, Sink: sink, Recovery: rec})
+		st, runErr = Run(ctx, Config{Plan: plan, Sink: sink, Recovery: rec, BatchSize: batch})
 		close(sink.ch)
 	}()
 

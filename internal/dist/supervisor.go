@@ -21,7 +21,7 @@ package dist
 //     per-sender channel delivery is FIFO, so the substream of a tile
 //     arriving at one rank is identical across attempts and the stored
 //     count is always a prefix of it. Each attempt the fenced sinks
-//     suppress exactly that prefix, and the epoch fence in exchangeTiles
+//     suppress exactly that prefix, and the epoch fence in exchangeBlocks
 //     drops any straggler batch from a previous attempt outright.
 //   - Exhausting Recovery.MaxRetries degrades to the unsupervised loud
 //     failure: the last injected fault is returned unchanged.
@@ -66,14 +66,15 @@ func (ts *tileState) storedTotal() int64 {
 // RunContext's spawn and join.
 type fencedRankSink struct {
 	rank  int
-	under RankSink // created lazily once, reused across attempts
+	under RankSink    // created lazily once, reused across attempts
+	bs    BlockStorer // under's block fast path, when it has one
 
 	skip    map[int]int64 // remaining prefix to suppress this attempt, per tile
 	stored  map[int]int64 // edges newly stored this attempt, per tile
 	skipped int64         // duplicates suppressed this attempt
 
 	// Hot-path cache of the current tile's counters; batches arrive
-	// tile-framed, so tile switches are rare and the per-edge cost is an
+	// tile-framed, so tile switches are rare and the per-batch cost is an
 	// int compare instead of two map lookups.
 	curTile int
 	curSkip int64
@@ -95,20 +96,40 @@ func (f *fencedRankSink) flushCur() {
 	f.curTile = -1
 }
 
-func (f *fencedRankSink) storeTile(tile int, e graph.Edge) (bool, error) {
+// storeBlock suppresses the tile substream's replayed prefix — batching
+// preserves substream order, so the prefix is simply the leading
+// min(curSkip, len) edges of however many batches it spans — and stores
+// the remainder through the block fast path when the sink has one.
+func (f *fencedRankSink) storeBlock(tile int, edges []graph.Edge) (int64, error) {
 	if tile != f.curTile {
 		f.setTile(tile)
 	}
 	if f.curSkip > 0 {
-		f.curSkip--
-		f.skipped++
-		return false, nil
+		n := int64(len(edges))
+		if n > f.curSkip {
+			n = f.curSkip
+		}
+		f.curSkip -= n
+		f.skipped += n
+		edges = edges[n:]
+		if len(edges) == 0 {
+			return 0, nil
+		}
 	}
-	if err := f.under.Store(e); err != nil {
-		return false, err
+	var stored int64
+	var err error
+	if f.bs != nil {
+		stored, err = f.bs.StoreBlock(edges)
+	} else {
+		for _, e := range edges {
+			if err = f.under.Store(e); err != nil {
+				break
+			}
+			stored++
+		}
 	}
-	f.curNew++
-	return true, nil
+	f.curNew += stored
+	return stored, err
 }
 
 func (f *fencedRankSink) endAttempt() (int64, error) {
@@ -153,6 +174,7 @@ func (s *supervision) sinkFor(rk *Rank) (attemptSink, error) {
 			return nil, err
 		}
 		f.under = rs
+		f.bs, _ = rs.(BlockStorer)
 	}
 	return f, nil
 }
@@ -322,7 +344,7 @@ func supervise(ctx context.Context, cfg Config) (Stats, error) {
 		s.beginAttempt()
 		perGen := make([]int64, p.R)
 		perStored := make([]int64, p.R)
-		runErr = runAttempt(ctx, c, cfg.Owner, assigned, s.sinkFor, perGen, perStored)
+		runErr = runAttempt(ctx, c, cfg.Owner, assigned, s.sinkFor, perGen, perStored, cfg.batchSize())
 		st := c.Stats()
 		agg.EdgesGenerated += st.EdgesGenerated
 		agg.EdgesRouted += st.EdgesRouted

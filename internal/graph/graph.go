@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 )
 
 // Edge is a directed arc (U, V). Undirected edges are represented by the
@@ -44,6 +45,9 @@ type Graph struct {
 	offsets []int64 // len n+1
 	adj     []int64 // neighbor lists, sorted ascending within each row
 	loops   int64   // number of self loops
+
+	arcsOnce sync.Once
+	arcs     []Edge // flat CSR-order arc list, built lazily by ArcSlice
 }
 
 // New builds a Graph on n vertices from the given arcs. Each arc is
@@ -241,6 +245,16 @@ func (g *Graph) ArcList() []Edge {
 		return true
 	})
 	return out
+}
+
+// ArcSlice returns all arcs in CSR order as a flat slice, built once and
+// cached on the graph — the plain-loop input the blocked expansion
+// kernel (core.ExpandBlock) iterates, with no callback per arc. The
+// returned slice is shared across callers and must not be modified; use
+// ArcList for a private copy. Safe for concurrent use.
+func (g *Graph) ArcSlice() []Edge {
+	g.arcsOnce.Do(func() { g.arcs = g.ArcList() })
+	return g.arcs
 }
 
 // IsSymmetric reports whether for every arc (u,v) the reverse arc (v,u) is

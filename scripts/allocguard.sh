@@ -1,0 +1,66 @@
+#!/bin/sh
+# Allocation regression guard for the end-to-end generation benchmark.
+#
+# Runs BenchmarkE2Generate1D with -benchmem and compares allocs/op per
+# sub-benchmark against the newest committed BENCH_*.json snapshot. Fails
+# when any sub-benchmark allocates more than ALLOW× the snapshot figure
+# (default 1.2 — a 20% regression budget; allocs/op is deterministic
+# enough that this never flakes while still catching a reintroduced
+# per-batch allocation).
+#
+# Usage:
+#   scripts/allocguard.sh                 # guard against newest BENCH_*.json
+#   SNAPSHOT=BENCH_foo.json scripts/allocguard.sh
+#   ALLOW=1.5 scripts/allocguard.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SNAPSHOT="${SNAPSHOT:-$(ls -1 BENCH_*.json 2>/dev/null | tail -1)}"
+ALLOW="${ALLOW:-1.2}"
+if [ -z "$SNAPSHOT" ] || [ ! -f "$SNAPSHOT" ]; then
+    echo "allocguard: no BENCH_*.json snapshot found" >&2
+    exit 2
+fi
+
+echo "allocguard: baseline $SNAPSHOT, budget ${ALLOW}x" >&2
+
+# Reassemble the JSON event stream into plain bench output first: a
+# benchmark's name and its numbers usually arrive as separate events.
+baseline() {
+    grep -o '"Output":"[^"]*' "$SNAPSHOT" | sed 's/"Output":"//' | tr -d '\n' |
+        sed 's/\\n/\n/g; s/\\t/\t/g' |
+        grep 'allocs/op' | grep '^BenchmarkE2Generate1D' || true
+}
+
+CUR=$(mktemp) && BASE=$(mktemp)
+trap 'rm -f "$CUR" "$BASE"' EXIT
+baseline >"$BASE"
+if [ ! -s "$BASE" ]; then
+    echo "allocguard: $SNAPSHOT has no BenchmarkE2Generate1D results" >&2
+    exit 2
+fi
+
+# benchtime 10x keeps the guard fast; allocs/op does not depend on the
+# iteration count once pools are warm.
+go test -run '^$' -bench 'BenchmarkE2Generate1D' -benchmem -benchtime 10x . >"$CUR"
+
+awk -v allow="$ALLOW" '
+{
+    name = $1
+    for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") a[FILENAME, name] = $(i - 1)
+    if (FILENAME == ARGV[1] && !(name in seen)) { order[++n_] = name; seen[name] = 1 }
+}
+END {
+    bad = 0
+    for (i = 1; i <= n_; i++) {
+        name = order[i]
+        o = a[ARGV[1], name]; n = a[ARGV[2], name]
+        if (o == "" || n == "") continue
+        status = "ok"
+        if (n > o * allow) { status = "FAIL"; bad = 1 }
+        printf "%-40s snapshot %6d  current %6d  budget %6.0f  %s\n", name, o, n, o * allow, status
+    }
+    if (n_ == 0) { print "allocguard: no comparable benchmarks" > "/dev/stderr"; exit 2 }
+    exit bad
+}' "$BASE" "$CUR"

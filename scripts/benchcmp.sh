@@ -1,0 +1,74 @@
+#!/bin/sh
+# Compare two BENCH_<date>.json snapshots (the go test -json event
+# streams scripts/bench.sh writes) benchmark by benchmark.
+#
+# Usage:
+#   scripts/benchcmp.sh OLD.json NEW.json
+#   make benchcmp                # compares the two newest BENCH_*.json
+#
+# Uses benchstat when it is on PATH (proper statistics across -count
+# repetitions); otherwise falls back to an awk delta table of ns/op and
+# allocs/op per benchmark, flagging changes beyond ±5%.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    # Default: the two newest snapshots in the repo root, oldest first.
+    cd "$(dirname "$0")/.."
+    set -- $(ls -1 BENCH_*.json 2>/dev/null | tail -2)
+    if [ "$#" -ne 2 ]; then
+        echo "usage: scripts/benchcmp.sh OLD.json NEW.json (or keep ≥2 BENCH_*.json around)" >&2
+        exit 2
+    fi
+    echo "comparing $1 → $2" >&2
+fi
+
+OLD="$1"
+NEW="$2"
+
+# Re-extract plain `go test -bench` text from the JSON event stream: the
+# format benchstat (and the awk fallback) parses. Output events split
+# lines arbitrarily (a benchmark's name and its numbers usually arrive
+# as separate events), so the stream is reassembled before filtering.
+extract() {
+    grep -o '"Output":"[^"]*' "$1" | sed 's/"Output":"//' | tr -d '\n' |
+        sed 's/\\n/\n/g; s/\\t/\t/g' |
+        grep 'ns/op' | grep '^Benchmark' || true
+}
+
+TMP_OLD=$(mktemp) && TMP_NEW=$(mktemp)
+trap 'rm -f "$TMP_OLD" "$TMP_NEW"' EXIT
+extract "$OLD" >"$TMP_OLD"
+extract "$NEW" >"$TMP_NEW"
+
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$TMP_OLD" "$TMP_NEW"
+    exit 0
+fi
+
+# Fallback: join on benchmark name, print old/new ns/op and allocs/op
+# with percentage deltas. Only benchmarks present in both files appear.
+awk '
+function pct(o, n) { return o > 0 ? sprintf("%+.1f%%", (n - o) * 100 / o) : "n/a" }
+function flag(o, n) { return (o > 0 && (n - o) / o > 0.05) ? " !" : ((o > 0 && (o - n) / o > 0.05) ? " *" : "") }
+{
+    name = $1
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns[FILENAME, name] = $(i - 1)
+        if ($(i) == "allocs/op") al[FILENAME, name] = $(i - 1)
+    }
+    if (FILENAME == ARGV[1]) { if (!(name in seen)) order[++n_] = name; seen[name] = 1 }
+}
+END {
+    printf "%-50s %14s %14s %9s %10s %10s %9s\n",
+        "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"
+    for (i = 1; i <= n_; i++) {
+        name = order[i]
+        o = ns[ARGV[1], name]; n = ns[ARGV[2], name]
+        if (o == "" || n == "") continue
+        oa = al[ARGV[1], name]; na = al[ARGV[2], name]
+        printf "%-50s %14.0f %14.0f %8s%s %10d %10d %8s%s\n",
+            name, o, n, pct(o, n), flag(o, n), oa, na, pct(oa, na), flag(oa, na)
+    }
+    print ""
+    print "(! = >5% regression, * = >5% improvement; install benchstat for proper statistics)"
+}' "$TMP_OLD" "$TMP_NEW"
