@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench benchcmp allocguard clean recovery-soak lint
+.PHONY: all build test race vet fmt-check bench benchcmp allocguard clean recovery-soak lint cluster-smoke
 
 all: build test
 
@@ -39,6 +39,12 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# Multi-process cluster smoke: a 4-process krongen TCP cluster on
+# localhost against a single-process reference run, failing unless the
+# two stores hold the identical edge set. Mirrors the CI job.
+cluster-smoke:
+	sh scripts/cluster_local.sh
 
 # Runs every Benchmark* suite with -benchmem and writes the go test -json
 # event stream to BENCH_<date>.json. BENCHTIME=10x make bench for a quick

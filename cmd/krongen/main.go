@@ -7,10 +7,19 @@
 //
 //	krongen -a A.txt -b B.txt [-out C.txt] [-mode serial|1d|2d] [-ranks R]
 //	        [-self-loops] [-binary] [-stats] [-store DIR [-shards S]]
+//	        [-cluster-peers H:P,H:P,... -cluster-self N [-retries K]]
 //
 // With -store the product streams to a sharded on-disk store instead of
 // an edge-list file: serially (shard count -shards), or under -mode 1d/2d
 // with one shard per simulated rank and O(batch) memory per rank.
+//
+// With -cluster-peers the 1d/2d store generation runs as one process of a
+// real multi-process cluster over TCP: every process is started with the
+// same factor files, the same full peer list and its own -cluster-self
+// index, hosts a contiguous share of the -ranks ranks, and streams its
+// owned shards into the shared -store directory. Process 0 supervises
+// (assigning work, collecting results, retrying up to -retries times
+// after a peer process dies) and finalizes the store manifest.
 //
 // With -self-loops the product is (A+I) ⊗ (B+I), the construction required
 // by the triangle (Cor. 1/2), distance (Thm. 3) and community (Thm. 6)
@@ -18,14 +27,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"kronlab/internal/core"
 	"kronlab/internal/dist"
+	"kronlab/internal/dist/transport"
+	"kronlab/internal/dist/transport/tcp"
 	"kronlab/internal/graph"
 	"kronlab/internal/store"
 )
@@ -45,7 +59,35 @@ func main() {
 	stats := flag.Bool("stats", false, "print generation statistics to stderr")
 	storeDir := flag.String("store", "", "stream C to a sharded on-disk store at this directory instead of an edge-list file")
 	shards := flag.Int("shards", 8, "shard count for -store in serial mode (1d/2d modes use one shard per rank)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated host:port list of every cluster process, in process order (requires -store and -mode 1d|2d)")
+	clusterSelf := flag.Int("cluster-self", 0, "this process's index into -cluster-peers")
+	retries := flag.Int("retries", 3, "cluster mode: attempts to retry after a recoverable peer failure")
+	dumpStore := flag.String("dump-store", "", "load an existing store at this directory and write it as an edge list (to -out or stdout); no generation")
 	flag.Parse()
+
+	if *dumpStore != "" {
+		st, err := store.Open(*dumpStore)
+		if err != nil {
+			log.Fatalf("opening store: %v", err)
+		}
+		g, err := st.LoadGraph()
+		if err != nil {
+			log.Fatalf("loading store: %v", err)
+		}
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatalf("creating output: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := g.WriteEdgeList(out); err != nil {
+			log.Fatalf("writing edge list: %v", err)
+		}
+		return
+	}
 
 	if *aPath == "" || (*bPath == "" && *power < 2) {
 		flag.Usage()
@@ -80,6 +122,14 @@ func main() {
 		if *selfLoops {
 			b = b.WithFullSelfLoops()
 		}
+	}
+
+	if *clusterPeers != "" {
+		if *storeDir == "" || (*mode != "1d" && *mode != "2d") {
+			log.Fatal("-cluster-peers requires -store and -mode 1d or 2d")
+		}
+		runCluster(a, b, *mode == "2d", *storeDir, *clusterPeers, *clusterSelf, *ranks, *retries, *stats)
+		return
 	}
 
 	if *storeDir != "" && *mode != "serial" {
@@ -197,5 +247,62 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ranks=%d routed=%d edges, %d bytes, %d messages\n",
 				*ranks, genStats.EdgesRouted, genStats.BytesSent, genStats.Messages)
 		}
+	}
+}
+
+// runCluster runs this process's share of a multi-process TCP cluster
+// generation. Every peer process runs the same command line except for
+// -cluster-self, derives the identical plan from the shared factor files,
+// and the plan-hash handshake refuses any peer whose plan disagrees.
+// Process 0 finalizes the store and prints the -stats summary; workers
+// exit silently on success.
+func runCluster(a, b *graph.Graph, twoD bool, dir, peers string, self, ranks, retries int, stats bool) {
+	addrs := strings.Split(peers, ",")
+	for i, s := range addrs {
+		addrs[i] = strings.TrimSpace(s)
+	}
+	if self < 0 || self >= len(addrs) {
+		log.Fatalf("-cluster-self %d out of range for %d peers", self, len(addrs))
+	}
+	if ranks < len(addrs) {
+		log.Fatalf("-ranks %d is fewer than the %d cluster processes", ranks, len(addrs))
+	}
+
+	plan, err := dist.Plan1D(a, b, ranks)
+	if twoD {
+		plan, err = dist.Plan2D(a, b, ranks)
+	}
+	if err != nil {
+		log.Fatalf("planning: %v", err)
+	}
+	node, err := tcp.NewNode(addrs[self], self, dist.PlanHash(plan))
+	if err != nil {
+		log.Fatalf("listening on %s: %v", addrs[self], err)
+	}
+	defer node.Close()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	start := time.Now()
+	st, genStats, err := dist.GenerateClusterToStore(ctx, a, b, dir, twoD,
+		dist.ClusterConfig{
+			Procs: transport.SplitRanks(addrs, ranks),
+			Self:  self,
+			Node:  node,
+		},
+		dist.Recovery{MaxRetries: retries, Backoff: 250 * time.Millisecond})
+	if err != nil {
+		log.Fatalf("cluster generation (proc %d): %v", self, err)
+	}
+	if st == nil {
+		return // worker: the head owns the manifest and the summary
+	}
+	if stats {
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "streamed %d arcs to %s (%d shards) in %v (%.0f edges/s)\n",
+			st.TotalEdges(), dir, st.Shards(), elapsed, float64(st.TotalEdges())/elapsed.Seconds())
+		fmt.Fprintf(os.Stderr, "procs=%d ranks=%d routed=%d edges, %d bytes, %d messages, max stored/rank=%d, recovered runs=%d\n",
+			len(addrs), ranks, genStats.EdgesRouted, genStats.BytesSent, genStats.Messages, genStats.MaxStored(), genStats.RecoveredRuns)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"kronlab/internal/core"
+	chantransport "kronlab/internal/dist/transport/chan"
 	"kronlab/internal/gen"
 	"kronlab/internal/graph"
 )
@@ -318,16 +319,16 @@ func TestClusterOneShotAfterCancelledRun(t *testing.T) {
 			// exact residue an aborted exchange leaves behind.
 			buf := c.getBuf(DefaultBatchSize)
 			buf = append(buf, graph.Edge{U: 7, V: 7})
-			s := &shipper{rk: rk, c: c}
-			s.rx = &receiver{c: c, s: s, id: rk.ID(), epoch: c.epoch}
-			s.send(1, Message{From: 0, Edges: buf})
+			s := newShipper(rk, DefaultBatchSize, nil)
+			s.send(1, Message{Edges: buf})
 			return boom
 		})
 	})
 	if !errors.Is(runErr, boom) {
 		t.Fatalf("aborted run returned %v, want boom", runErr)
 	}
-	if len(c.inboxes[1]) == 0 {
+	tr := c.tr.(*chantransport.Transport)
+	if tr.Depth(1) == 0 {
 		t.Fatal("precondition: aborted run should have left a stale inbox message")
 	}
 
@@ -337,8 +338,8 @@ func TestClusterOneShotAfterCancelledRun(t *testing.T) {
 	}
 
 	c.Reset()
-	for i, ch := range c.inboxes {
-		if n := len(ch); n != 0 {
+	for i := 0; i < c.Size(); i++ {
+		if n := tr.Depth(i); n != 0 {
 			t.Fatalf("inbox %d still holds %d stale messages after Reset", i, n)
 		}
 	}
@@ -804,7 +805,7 @@ func TestEpochFencingDropsStaleBatch(t *testing.T) {
 	c.epoch = 5
 	stale := c.getBuf(DefaultBatchSize)
 	stale = append(stale, graph.Edge{U: 9, V: 9})
-	c.inboxes[1] <- Message{From: 0, Epoch: 3, Edges: stale}
+	c.tr.(*chantransport.Transport).Inject(Message{From: 0, Dest: 1, Epoch: 3, Edges: stale})
 
 	received := make([][]graph.Edge, 2)
 	runErr := runWithWatchdog(t, chaosWatchdog, func() error {

@@ -1,9 +1,12 @@
 // Package dist implements the paper's distributed Kronecker generator
-// (Sec. III and Rem. 1) on a simulated cluster: R ranks run as goroutines
-// and exchange edge batches over channels. The partitioning, expansion and
-// owner-routing code paths are exactly those of the MPI implementation the
-// paper describes (HavoqGT on Sequoia); only the transport differs, and
-// the cluster accounts messages and bytes so communication volume can be
+// (Sec. III and Rem. 1) over a pluggable rank-to-rank transport. The
+// default cluster is simulated: R ranks run as goroutines and exchange
+// edge batches over channels (transport/chan). Cluster mode runs the
+// same code across processes over length-prefixed TCP (transport/tcp,
+// see RunClusterProc). The partitioning, expansion and owner-routing
+// code paths are exactly those of the MPI implementation the paper
+// describes (HavoqGT on Sequoia); only the transport differs, and the
+// cluster accounts messages and bytes so communication volume can be
 // reported in the benchmarks.
 //
 // All generation paths are wrappers over one Plan→Expand→Route→Sink
@@ -20,26 +23,25 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kronlab/internal/dist/transport"
+	chantransport "kronlab/internal/dist/transport/chan"
 	"kronlab/internal/graph"
 )
 
 // edgeWireBytes is the accounting size of one edge on the wire: two
-// int64 endpoints.
+// int64 endpoints (store.RecordSize, which is also what the TCP framing
+// actually serializes per edge).
 const edgeWireBytes = 16
 
-// Message is a batch of edges sent between ranks; eof marks the end of the
-// sender's stream for the current exchange. Epoch is the run attempt the
-// batch belongs to (stamped by send, checked by the receiver's epoch
-// fence); Tile is the plan tile that produced every edge in the batch —
-// exchangeTiles flushes at tile boundaries so a batch never mixes tiles,
-// which is what lets recovering sinks deduplicate per tile stream.
-type Message struct {
-	From  int
-	Epoch int64
-	Tile  int
-	Edges []graph.Edge
-	EOF   bool
-}
+// Message is a batch of edges sent between ranks — an alias for the
+// transport-layer Batch so the engine and the transports share one
+// framing type. EOF marks the end of the sender's stream for the
+// current exchange. Epoch is the run attempt the batch belongs to
+// (stamped by send, checked by the receiver's epoch fence); Tile is the
+// plan tile that produced every edge in the batch — exchangeTiles
+// flushes at tile boundaries so a batch never mixes tiles, which is
+// what lets recovering sinks deduplicate per tile stream.
+type Message = transport.Batch
 
 // Stats aggregates traffic counters across an exchange. The scalar fields
 // are totals over all ranks; the per-rank slices expose load skew (the
@@ -97,17 +99,18 @@ func maxOf(xs []int64) int64 {
 	return m
 }
 
-// Cluster is a simulated machine with R communicating ranks. A cluster
-// is one-shot: it runs exactly one Run/RunContext (a second attempt
-// returns ErrClusterUsed), because an aborted run can leave cancelled
-// context state and stale inbox messages that would misroute batches
-// into a later exchange. Reset returns a finished cluster to a runnable
-// state by draining that residue.
+// Cluster is a machine with R communicating ranks over a Transport. A
+// cluster is one-shot: it runs exactly one Run/RunContext (a second
+// attempt returns ErrClusterUsed), because an aborted run can leave
+// cancelled context state and stale transport residue that would
+// misroute batches into a later exchange. Reset returns a finished
+// cluster to a runnable state by draining that residue.
 type Cluster struct {
-	r       int
-	inboxes []chan Message
-	stats   Stats
-	used    atomic.Bool
+	r      int
+	lo, hi int // local rank range [lo, hi) hosted by this process
+	tr     transport.Transport
+	stats  Stats
+	used   atomic.Bool
 
 	// epoch is the current run attempt, stamped on every outgoing
 	// message and checked by the receiver's epoch fence. Written by the
@@ -131,14 +134,6 @@ type Cluster struct {
 	// regression is asserted. The buffers themselves live in the
 	// package-level edgeBufPool.
 	bufsOut int64
-
-	barrierMu   sync.Mutex
-	barrierCond *sync.Cond
-	barrierCnt  int
-	barrierGen  int
-
-	reduceMu  sync.Mutex
-	reduceAcc int64
 }
 
 // ErrClusterUsed reports a second run on a one-shot cluster. Build a
@@ -146,24 +141,45 @@ type Cluster struct {
 // residue first.
 var ErrClusterUsed = errors.New("dist: cluster already ran; NewCluster or Reset before running again")
 
-// NewCluster returns a cluster of r ranks. Inbox channels are buffered so
-// the generate-then-drain pattern cannot deadlock as long as each rank
-// runs its receiver concurrently with its producer (see Rank.Exchange).
+// NewCluster returns a simulated cluster of r ranks on the in-process
+// channel transport: all ranks local, zero-copy delivery, buffered
+// inboxes so the generate-then-drain pattern cannot deadlock as long as
+// each rank runs its inline receive progress (see Rank.Exchange).
 func NewCluster(r int) (*Cluster, error) {
 	if r < 1 {
 		return nil, fmt.Errorf("dist: cluster needs ≥ 1 rank, got %d", r)
 	}
-	c := &Cluster{r: r, inboxes: make([]chan Message, r)}
-	for i := range c.inboxes {
-		c.inboxes[i] = make(chan Message, 4*r+16)
+	return NewClusterOn(chantransport.New(r))
+}
+
+// NewClusterOn returns a cluster over an existing transport — the
+// cluster-mode entry point, where the transport is a TCP mesh hosting
+// only this process's rank range. RunContext then spawns bodies for the
+// local ranks only; collectives and routed batches span the whole
+// cluster through the transport.
+func NewClusterOn(tr transport.Transport) (*Cluster, error) {
+	r := tr.R()
+	if r < 1 {
+		return nil, fmt.Errorf("dist: transport reports %d ranks, need ≥ 1", r)
 	}
+	lo, hi := tr.Local()
+	if lo < 0 || hi > r || lo >= hi {
+		return nil, fmt.Errorf("dist: transport local range [%d,%d) invalid for R=%d", lo, hi, r)
+	}
+	c := &Cluster{r: r, lo: lo, hi: hi, tr: tr}
 	c.ctx, c.cancel = context.WithCancelCause(context.Background())
-	c.barrierCond = sync.NewCond(&c.barrierMu)
 	return c, nil
 }
 
-// Size returns the number of ranks.
+// Size returns the number of ranks across the whole cluster.
 func (c *Cluster) Size() int { return c.r }
+
+// Local returns the contiguous rank range [lo, hi) this process hosts.
+func (c *Cluster) Local() (lo, hi int) { return c.lo, c.hi }
+
+// Transport exposes the cluster's rank-to-rank link (for stats and
+// cluster-mode control traffic).
+func (c *Cluster) Transport() transport.Transport { return c.tr }
 
 // InjectFaults arms the cluster with a fault-injection schedule. It must
 // be called before the run starts. The schedule survives Reset: its
@@ -175,63 +191,53 @@ func (c *Cluster) InjectFaults(plan FaultPlan) {
 	c.faults = newFaultState(plan, c.r)
 }
 
-// Reset returns a finished cluster to a runnable state: stale inbox
-// messages left behind by an aborted exchange are drained (their pooled
-// batch buffers recycled), traffic stats and collective state are
-// zeroed, any armed fault schedule is re-seeded (see InjectFaults for
-// what survives), and a fresh run context is installed. It must not be
-// called concurrently with a run.
+// Reset returns a finished cluster to a runnable state: stale batches
+// left behind by an aborted exchange are drained from the transport
+// (their pooled batch buffers recycled), traffic stats and collective
+// state are zeroed, any armed fault schedule is re-seeded (see
+// InjectFaults for what survives), and a fresh run context is
+// installed. It must not be called concurrently with a run.
 func (c *Cluster) Reset() {
-	for _, ch := range c.inboxes {
-	drain:
-		for {
-			select {
-			case m := <-ch:
-				c.putBuf(m.Edges)
-			default:
-				break drain
-			}
-		}
-	}
+	c.tr.Reset(func(b Message) { c.putBuf(b.Edges) })
 	c.stats = Stats{}
-	c.barrierMu.Lock()
-	c.barrierCnt, c.barrierGen = 0, 0
-	c.barrierMu.Unlock()
-	c.reduceMu.Lock()
-	c.reduceAcc = 0
-	c.reduceMu.Unlock()
 	if c.faults != nil {
 		c.faults.reset()
 	}
-	c.cancel(nil) // retire the previous run's context and its watcher
+	c.cancel(nil) // retire the previous run's context
 	c.ctx, c.cancel = context.WithCancelCause(context.Background())
 	c.used.Store(false)
 }
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Cluster) Stats() Stats {
+	var depth int64
+	if d, ok := c.tr.(interface{ MaxDepth() int64 }); ok {
+		depth = d.MaxDepth()
+	}
 	return Stats{
 		EdgesGenerated:  atomic.LoadInt64(&c.stats.EdgesGenerated),
 		EdgesRouted:     atomic.LoadInt64(&c.stats.EdgesRouted),
 		BytesSent:       atomic.LoadInt64(&c.stats.BytesSent),
 		Messages:        atomic.LoadInt64(&c.stats.Messages),
-		MaxInboxDepth:   atomic.LoadInt64(&c.stats.MaxInboxDepth),
+		MaxInboxDepth:   depth,
 		StaleBatches:    atomic.LoadInt64(&c.stats.StaleBatches),
 		OutstandingBufs: atomic.LoadInt64(&c.bufsOut),
 	}
 }
 
-// Run executes body once per rank concurrently and waits for all ranks;
-// the first non-nil error is returned.
+// Run executes body once per local rank concurrently and waits for all
+// of them; the first non-nil error is returned.
 func (c *Cluster) Run(body func(rk *Rank) error) error {
 	return c.RunContext(context.Background(), body)
 }
 
 // RunContext is Run with cancellation: when ctx is cancelled, or any
-// rank's body returns an error, every rank blocked in Exchange (sending or
-// waiting for EOF markers) is released. The root cause — the first rank
-// error, or the external cancellation — is returned in preference to the
-// secondary context errors the other ranks observe.
+// local rank's body returns an error, every rank blocked in Exchange
+// (sending or waiting for EOF markers) is released. The root cause — the
+// first rank error, or the external cancellation — is returned in
+// preference to the secondary context errors the other ranks observe.
+// On a multi-process transport only the local rank range runs here;
+// remote failures surface as transport errors on blocked calls.
 func (c *Cluster) RunContext(ctx context.Context, body func(rk *Rank) error) error {
 	if !c.used.CompareAndSwap(false, true) {
 		return ErrClusterUsed
@@ -239,24 +245,16 @@ func (c *Cluster) RunContext(ctx context.Context, body func(rk *Rank) error) err
 	ctx, cancel := context.WithCancelCause(ctx)
 	c.ctx, c.cancel = ctx, cancel
 	defer cancel(nil)
-	// Collective watcher: ranks parked in Barrier wait on a cond var,
-	// which context cancellation cannot reach directly — wake them when
-	// the run is torn down so they can observe the cause and return.
-	go func() {
-		<-ctx.Done()
-		c.barrierMu.Lock()
-		c.barrierCond.Broadcast()
-		c.barrierMu.Unlock()
-	}()
-	errs := make([]error, c.r)
+	n := c.hi - c.lo
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for id := 0; id < c.r; id++ {
+	for id := c.lo; id < c.hi; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			errs[id] = body(&Rank{id: id, c: c})
-			if errs[id] != nil {
-				cancel(errs[id])
+			errs[id-c.lo] = body(&Rank{id: id, c: c})
+			if errs[id-c.lo] != nil {
+				cancel(errs[id-c.lo])
 			}
 		}(id)
 	}
@@ -367,13 +365,13 @@ func (c *Cluster) putBuf(s []graph.Edge) {
 // be zero — the pooled-buffer leak regression asserts exactly that.
 func (c *Cluster) outstandingBufs() int64 { return atomic.LoadInt64(&c.bufsOut) }
 
-// Rank is one simulated processor inside a Cluster.Run body.
+// Rank is one processor inside a Cluster.Run body.
 type Rank struct {
 	id int
 	c  *Cluster
 }
 
-// ID returns this rank's index in [0, Size).
+// ID returns this rank's global index in [0, Size).
 func (rk *Rank) ID() int { return rk.id }
 
 // Size returns the cluster size R.
@@ -392,50 +390,21 @@ func (rk *Rank) crashAt(p FaultPoint) error {
 	return rk.c.faults.crash(rk.id, p)
 }
 
-// atomicMax raises *addr to v if v is larger.
-func atomicMax(addr *int64, v int64) {
-	for {
-		cur := atomic.LoadInt64(addr)
-		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
-			return
-		}
-	}
-}
-
 // Barrier blocks until all ranks have entered it, or until the run is
 // torn down — a rank that dies before arriving would otherwise leave
-// every peer waiting on the cond var forever. Callers that must
-// distinguish completion from teardown use BarrierContext.
+// every peer waiting forever. Callers that must distinguish completion
+// from teardown use BarrierContext.
 func (rk *Rank) Barrier() { _ = rk.BarrierContext() }
 
 // BarrierContext is Barrier observing the run's cancellation: it returns
-// nil once all ranks have arrived, or the run's cancellation cause when
-// the run is torn down while waiting (that barrier generation can then
-// never complete). A rank that withdraws is un-counted, so the barrier
-// state stays consistent for Reset.
+// nil once all ranks (across every process) have arrived, or the run's
+// cancellation cause when the run is torn down while waiting (that
+// barrier generation can then never complete).
 func (rk *Rank) BarrierContext() error {
-	c := rk.c
 	if err := rk.crashAt(FaultInCollective); err != nil {
 		return err
 	}
-	c.barrierMu.Lock()
-	defer c.barrierMu.Unlock()
-	gen := c.barrierGen
-	c.barrierCnt++
-	if c.barrierCnt == c.r {
-		c.barrierCnt = 0
-		c.barrierGen++
-		c.barrierCond.Broadcast()
-		return nil
-	}
-	for gen == c.barrierGen {
-		if c.ctx.Err() != nil {
-			c.barrierCnt--
-			return context.Cause(c.ctx)
-		}
-		c.barrierCond.Wait()
-	}
-	return nil
+	return rk.c.tr.Barrier(rk.c.ctx, rk.id)
 }
 
 // AllReduceSum adds v across all ranks and returns the total to each.
@@ -448,26 +417,22 @@ func (rk *Rank) AllReduceSum(v int64) int64 {
 
 // AllReduceSumContext adds v across all ranks and returns the total to
 // each, or the run's cancellation cause if the collective cannot
-// complete because the run was torn down. The barriers establish the
-// happens-before edges that make the shared accumulator race-free: all
-// additions precede the first barrier, all reads sit between the first
-// and second, and the reset follows the second.
+// complete because the run was torn down. The reduce passes the
+// in-collective fault injection point three times — the cadence of the
+// three barrier entries the original shared-memory reduce made — so
+// seeded chaos schedules keep their crash positions across transports.
 func (rk *Rank) AllReduceSumContext(v int64) (int64, error) {
-	c := rk.c
-	c.reduceMu.Lock()
-	c.reduceAcc += v
-	c.reduceMu.Unlock()
-	if err := rk.BarrierContext(); err != nil {
+	if err := rk.crashAt(FaultInCollective); err != nil {
 		return 0, err
 	}
-	total := c.reduceAcc
-	if err := rk.BarrierContext(); err != nil {
+	total, err := rk.c.tr.AllReduceSum(rk.c.ctx, rk.id, v)
+	if err != nil {
 		return total, err
 	}
-	if rk.id == 0 {
-		c.reduceAcc = 0
+	if err := rk.crashAt(FaultInCollective); err != nil {
+		return total, err
 	}
-	if err := rk.BarrierContext(); err != nil {
+	if err := rk.crashAt(FaultInCollective); err != nil {
 		return total, err
 	}
 	return total, nil

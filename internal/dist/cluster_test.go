@@ -1,0 +1,381 @@
+package dist
+
+// Cluster-mode tests: the same engine over the TCP transport across
+// process boundaries. The parity suite folds a 4-proc cluster into this
+// test process (one goroutine per "process", each with its own Node and
+// rank range) and diffs the shared on-disk product against the serial
+// reference. The kill suite is the real thing: worker *processes*
+// (re-execs of this test binary), one of which SIGKILLs itself
+// mid-exchange via the wire-level fault schedule, is respawned by the
+// driver, and the recovered cluster output must still match the
+// reference edge-for-edge.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kronlab/internal/core"
+	"kronlab/internal/dist/transport"
+	"kronlab/internal/dist/transport/tcp"
+	"kronlab/internal/gen"
+	"kronlab/internal/graph"
+	"kronlab/internal/store"
+)
+
+// TestPlanHash pins the handshake fingerprint's sensitivity: identical
+// plans hash identically across independent derivations, and any change
+// to the decomposition — rank count, partitioning direction — changes it.
+func TestPlanHash(t *testing.T) {
+	a := gen.PrefAttach(12, 2, 31)
+	b := gen.ER(9, 0.5, 32)
+	p1, err := Plan1D(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Plan1D(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PlanHash(p1) != PlanHash(p2) {
+		t.Fatal("identical plans hash differently")
+	}
+	p3, err := Plan1D(a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PlanHash(p1) == PlanHash(p3) {
+		t.Fatal("different rank counts collide")
+	}
+	p4, err := Plan2D(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PlanHash(p1) == PlanHash(p4) {
+		t.Fatal("1D and 2D decompositions collide")
+	}
+}
+
+// TestClusterParity runs a 4-process cluster folded into this test
+// process — one goroutine per proc, real TCP between them — for both
+// decompositions and an uneven rank split, and asserts the shared store
+// holds exactly the serial product.
+func TestClusterParity(t *testing.T) {
+	a := gen.PrefAttach(12, 2, 31)
+	b := gen.ER(9, 0.5, 32)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		r    int
+		twoD bool
+	}{
+		{"1d/r4", 4, false},
+		{"1d/r6-uneven", 6, false},
+		{"2d/r6-uneven", 6, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const nprocs = 4
+			plan, err := planFor(a, b, tc.r, tc.twoD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hash := PlanHash(plan)
+			nodes := make([]*tcp.Node, nprocs)
+			addrs := make([]string, nprocs)
+			for i := range nodes {
+				n, err := tcp.NewNode("127.0.0.1:0", i, hash)
+				if err != nil {
+					t.Fatalf("node %d: %v", i, err)
+				}
+				defer n.Close()
+				nodes[i] = n
+				addrs[i] = n.Addr()
+			}
+			procs := transport.SplitRanks(addrs, tc.r)
+			dir := t.TempDir()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+
+			var wg sync.WaitGroup
+			stores := make([]*store.Store, nprocs)
+			stats := make([]Stats, nprocs)
+			errs := make([]error, nprocs)
+			for p := 0; p < nprocs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					cc := ClusterConfig{Procs: procs, Self: p, Node: nodes[p]}
+					stores[p], stats[p], errs[p] = GenerateClusterToStore(ctx, a, b, dir, tc.twoD, cc, Recovery{})
+				}(p)
+			}
+			wg.Wait()
+			for p, err := range errs {
+				if err != nil {
+					t.Errorf("proc %d: %v", p, err)
+				}
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
+			for p := 1; p < nprocs; p++ {
+				if stores[p] != nil {
+					t.Fatalf("worker %d returned a store; only the head finalizes", p)
+				}
+			}
+			st := stores[0]
+			if st == nil {
+				t.Fatal("head returned no store")
+			}
+			if st.TotalEdges() != want.NumArcs() {
+				t.Fatalf("stored %d arcs, want %d", st.TotalEdges(), want.NumArcs())
+			}
+			got, err := st.LoadGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatal("cluster product differs from serial reference")
+			}
+			var gen, stored int64
+			for p := 0; p < nprocs; p++ {
+				for rk := procs[p].Lo; rk < procs[p].Hi; rk++ {
+					gen += stats[p].PerRankGenerated[rk]
+					stored += stats[p].PerRankStored[rk]
+				}
+			}
+			if gen != want.NumArcs() || stored != want.NumArcs() {
+				t.Fatalf("cluster counters: generated %d stored %d, want %d", gen, stored, want.NumArcs())
+			}
+		})
+	}
+}
+
+// TestClusterHandshakeRejectsPlanMismatch asserts a proc that derived a
+// different plan cannot join: the mesh refuses it and the error is not
+// classified as recoverable (retrying cannot fix a config divergence).
+func TestClusterHandshakeRejectsPlanMismatch(t *testing.T) {
+	if !clusterRecoverable(&transport.PeerError{Proc: 1, Err: fmt.Errorf("x")}) {
+		t.Fatal("peer death must be recoverable")
+	}
+	if clusterRecoverable(tcp.ErrHandshake) {
+		t.Fatal("handshake refusal must not be recoverable")
+	}
+	if !clusterRecoverable(fmt.Errorf("wrap: %w", errMeshDown)) {
+		t.Fatal("mesh establishment failure must be recoverable")
+	}
+}
+
+// Environment keys of the cluster helper process (see
+// TestClusterHelperProcess). The driver re-execs this test binary with
+// these set; KILL > 0 arms the wire-level SIGKILL on that worker.
+const (
+	envClusterHelper = "KRONLAB_CLUSTER_HELPER"
+	envClusterAddrs  = "KRONLAB_CLUSTER_ADDRS"
+	envClusterSelf   = "KRONLAB_CLUSTER_SELF"
+	envClusterDir    = "KRONLAB_CLUSTER_DIR"
+	envClusterKill   = "KRONLAB_CLUSTER_KILL"
+)
+
+// killTestFactors is the fixed factor pair of the crash-recovery
+// cluster — seeded generators, so the driver and every helper process
+// derive identical plans (and plan hashes) with no factor shipping.
+func killTestFactors() (*graph.Graph, *graph.Graph) {
+	return gen.PrefAttach(16, 2, 41), gen.ER(10, 0.5, 42)
+}
+
+// killTestConfig is the shared shape of the crash-recovery cluster: the
+// driver (head) and every helper (worker) derive it independently.
+func killTestConfig(dir string, r int) (Config, Plan, error) {
+	a, b := killTestFactors()
+	plan, err := Plan1D(a, b, r)
+	if err != nil {
+		return Config{}, Plan{}, err
+	}
+	return Config{
+		Plan:      plan,
+		Owner:     OwnerBySource,
+		Sink:      NewStoreSink(dir, r),
+		BatchSize: 32,
+		Recovery:  Recovery{MaxRetries: 3, Backoff: 10 * time.Millisecond},
+	}, plan, nil
+}
+
+// TestClusterHelperProcess is not a test: it is the worker-process body
+// of TestClusterKillRecovery, entered only when the driver re-execs the
+// test binary with the helper environment set.
+func TestClusterHelperProcess(t *testing.T) {
+	if os.Getenv(envClusterHelper) != "1" {
+		t.Skip("helper body for TestClusterKillRecovery")
+	}
+	addrs := strings.Split(os.Getenv(envClusterAddrs), ",")
+	self, err := strconv.Atoi(os.Getenv(envClusterSelf))
+	if err != nil {
+		t.Fatalf("bad self index: %v", err)
+	}
+	kill, _ := strconv.ParseInt(os.Getenv(envClusterKill), 10, 64)
+	cfg, plan, err := killTestConfig(os.Getenv(envClusterDir), len(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kill > 0 {
+		cfg.Faults = &FaultPlan{TCP: transport.TCPFaults{KillAfterFrames: kill}}
+	}
+	node, err := tcp.NewNode(addrs[self], self, PlanHash(plan))
+	if err != nil {
+		t.Fatalf("worker %d node: %v", self, err)
+	}
+	defer node.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	cc := ClusterConfig{Procs: transport.SplitRanks(addrs, plan.R), Self: self, Node: node}
+	if _, err := RunCluster(ctx, cc, cfg); err != nil {
+		t.Fatalf("worker %d: %v", self, err)
+	}
+}
+
+// reservePorts allocates n distinct loopback ports by binding and
+// releasing listeners. The helper processes re-bind them; the window
+// between release and re-bind is the usual accepted race of
+// fixed-address multi-process tests.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs
+}
+
+// TestClusterKillRecovery is the crash-then-recover contract across real
+// process boundaries: a 4-process cluster in which one worker SIGKILLs
+// itself mid-exchange (wire fault, buffered state lost with it), the
+// driver respawns it fault-free, and the supervised head replays the
+// uncommitted tiles — the final store must hold exactly the serial
+// product, with the recovery visible in the head's stats.
+func TestClusterKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	const nprocs = 4
+	const victim = 2
+	addrs := reservePorts(t, nprocs)
+	dir := t.TempDir()
+	cfg, plan, err := killTestConfig(dir, nprocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := killTestFactors()
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := tcp.NewNode(addrs[0], 0, PlanHash(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn := func(self int, kill int64) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run", "^TestClusterHelperProcess$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			envClusterHelper+"=1",
+			envClusterAddrs+"="+strings.Join(addrs, ","),
+			envClusterSelf+"="+strconv.Itoa(self),
+			envClusterDir+"="+dir,
+			envClusterKill+"="+strconv.FormatInt(kill, 10),
+		)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+
+	workers := make(map[int]*exec.Cmd)
+	for p := 1; p < nprocs; p++ {
+		kill := int64(0)
+		if p == victim {
+			kill = 5 // SIGKILL after the 5th outbound batch frame
+		}
+		workers[p] = spawn(p, kill)
+		if err := workers[p].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The victim dies by its own fault schedule; respawn it clean as an
+	// external supervisor would, and surface both exit statuses.
+	victimDied := make(chan error, 1)
+	respawnDone := make(chan error, 1)
+	go func() {
+		victimDied <- workers[victim].Wait()
+		re := spawn(victim, 0)
+		if err := re.Start(); err != nil {
+			respawnDone <- err
+			return
+		}
+		respawnDone <- re.Wait()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	stats, err := RunCluster(ctx, ClusterConfig{Procs: transport.SplitRanks(addrs, nprocs), Self: 0, Node: node}, cfg)
+	if err != nil {
+		t.Fatalf("head: %v", err)
+	}
+
+	if err := <-victimDied; err == nil {
+		t.Fatal("victim worker exited cleanly; the kill fault never fired")
+	}
+	if err := <-respawnDone; err != nil {
+		t.Fatalf("respawned worker: %v", err)
+	}
+	for p := 1; p < nprocs; p++ {
+		if p == victim {
+			continue
+		}
+		if err := workers[p].Wait(); err != nil {
+			t.Fatalf("worker %d: %v", p, err)
+		}
+	}
+
+	if stats.RecoveredRuns != 1 {
+		t.Fatalf("RecoveredRuns = %d, want 1", stats.RecoveredRuns)
+	}
+	var retries int64
+	for _, n := range stats.RetriesPerRank {
+		retries += n
+	}
+	if retries == 0 {
+		t.Fatal("no retries recorded for a run that lost a process")
+	}
+	st, err := store.Recover(dir, plan.NC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalEdges() != want.NumArcs() {
+		t.Fatalf("recovered store holds %d arcs, want %d", st.TotalEdges(), want.NumArcs())
+	}
+	got, err := st.LoadGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("recovered cluster product differs from serial reference")
+	}
+}

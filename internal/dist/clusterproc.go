@@ -1,0 +1,708 @@
+package dist
+
+// Cluster mode: the Plan→Expand→Route→Sink engine spread across N OS
+// processes over the TCP transport. Every process deterministically
+// reconstructs the same Plan from the factor files, hosts a contiguous
+// rank range from the static peer list, and runs the very runAttempt the
+// in-process engine runs — only the transport under it differs.
+//
+// Process 0 (the head) doubles as the run supervisor: it owns the
+// tile-checkpoint table, assigns each attempt's uncommitted tiles and
+// skip prefixes over persistent control connections, and collects
+// per-attempt reports. Recovery extends PR 4's posture from a killed
+// goroutine to a killed *process*:
+//
+//   - A worker that dies (SIGKILL, OOM, a yanked cable) surfaces as a
+//     broken control connection at the head and as PeerErrors on the
+//     survivors' mesh links; everyone's attempt tears down loudly.
+//   - The dead worker's durable output is gone with it — a respawned
+//     process's ShardWriter truncates its shard files on open — so the
+//     head zeroes the dead proc's ranks in every tile's stored counts
+//     and recomputes tile commitment non-stickily: a tile whose stored
+//     edges lived on the dead proc un-commits and replays.
+//   - Survivors keep their sinks open across attempts and fence the
+//     already-stored prefix of every replayed tile substream, exactly
+//     as in-process recovery does, so delivery stays exactly-once.
+//   - The respawned worker re-dials the head's control port, is handed
+//     the next epoch's assignment, and its mesh dials park at each peer
+//     until that peer enters the same epoch (tcp.Node's claim protocol).
+//
+// The head is a deliberate single point of failure: the paper's MPI
+// deployment has the same property in rank 0's result aggregation, and
+// a head death fails the run loudly rather than hanging it (workers'
+// control reads error out).
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"kronlab/internal/dist/transport"
+	"kronlab/internal/dist/transport/tcp"
+	"kronlab/internal/graph"
+	"kronlab/internal/store"
+)
+
+// ClusterConfig places one process in a static cluster.
+type ClusterConfig struct {
+	// Procs is the cluster layout — every process must derive the same
+	// list (same addresses, same rank split). See transport.SplitRanks.
+	Procs []transport.Proc
+	// Self is this process's index in Procs; index 0 is the head.
+	Self int
+	// Node is the process's persistent listening endpoint, shared across
+	// run attempts (NewNode with this proc's address and the plan hash).
+	Node *tcp.Node
+	// DialTimeout bounds mesh establishment per attempt; ≤ 0 means 10s.
+	DialTimeout time.Duration
+	// ReportTimeout bounds how long the head waits for a worker's
+	// post-attempt report before declaring the worker dead; ≤ 0 means
+	// 30s. By the time the head collects, its own attempt has finished —
+	// the final collective synchronizes every live proc — so only a dead
+	// worker ever runs the timeout down.
+	ReportTimeout time.Duration
+}
+
+func (cc ClusterConfig) reportTimeout() time.Duration {
+	if cc.ReportTimeout > 0 {
+		return cc.ReportTimeout
+	}
+	return 30 * time.Second
+}
+
+// PlanHash fingerprints a plan for the cluster handshake: rank count,
+// product size, and every tile's identity, A-arc window and B-factor
+// shape. Two processes that derive different plans from what should be
+// the same inputs refuse each other's connections instead of silently
+// exchanging misrouted batches.
+func PlanHash(p Plan) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	w(int64(p.R))
+	w(p.NC)
+	for _, tiles := range p.Tiles {
+		w(int64(len(tiles)))
+		for _, t := range tiles {
+			w(int64(t.ID))
+			w(int64(len(t.AArcs)))
+			for _, e := range t.AArcs {
+				w(e.U)
+				w(e.V)
+			}
+			w(t.B.NumVertices())
+			w(t.B.NumArcs())
+		}
+	}
+	return h.Sum64()
+}
+
+// Control protocol: JSON messages over the persistent worker→head
+// connections. One struct, discriminated by Kind, keeps the codec dumb.
+const (
+	ctrlBegin  = "begin"  // head → worker: run one attempt
+	ctrlReport = "report" // worker → head: attempt outcome
+	ctrlDone   = "done"   // head → worker: run over, finalize sinks
+	ctrlBye    = "bye"    // worker → head: sinks flushed and closed
+)
+
+type ctrlMsg struct {
+	Kind  string `json:"kind"`
+	Epoch int64  `json:"epoch,omitempty"`
+
+	// begin: the attempt's tile assignment (tile IDs per rank; tiles are
+	// resolved against the locally reconstructed plan) and the
+	// skip prefixes each rank's fenced sink must suppress.
+	Tiles map[int][]int         `json:"tiles,omitempty"`
+	Skip  map[int]map[int]int64 `json:"skip,omitempty"`
+
+	// done: the run's final error, empty on success.
+	Err string `json:"err,omitempty"`
+
+	// report: per-(rank, tile) edges newly stored this attempt, the
+	// duplicates suppressed, per-rank engine counters, traffic totals,
+	// and the attempt's error with its recovery classification.
+	Stored      map[int]map[int]int64 `json:"stored,omitempty"`
+	Skipped     int64                 `json:"skipped,omitempty"`
+	Gen         map[int]int64         `json:"gen,omitempty"`
+	StoredN     map[int]int64         `json:"stored_n,omitempty"`
+	Traffic     trafficStats          `json:"traffic,omitempty"`
+	RunErr      string                `json:"run_err,omitempty"`
+	Recoverable bool                  `json:"recoverable,omitempty"`
+}
+
+type trafficStats struct {
+	Generated int64 `json:"generated,omitempty"`
+	Routed    int64 `json:"routed,omitempty"`
+	Bytes     int64 `json:"bytes,omitempty"`
+	Messages  int64 `json:"messages,omitempty"`
+	Stale     int64 `json:"stale,omitempty"`
+	MaxDepth  int64 `json:"max_depth,omitempty"`
+}
+
+// errMeshDown marks a failed mesh establishment whose cause was a peer
+// being down or slow — the recoverable between-attempts face of a
+// process death (the respawned peer simply has not come back yet).
+var errMeshDown = errors.New("dist: cluster mesh establishment failed")
+
+// clusterRecoverable classifies a cluster attempt error: peer-link
+// deaths, in-proc injected faults and mesh-establishment failures are
+// the detect-and-reexecute faults; everything else (a sink error, a
+// handshake refusal, a bad plan) stays loud.
+func clusterRecoverable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *transport.PeerError
+	var rc *RankCrashError
+	var ml *MessageLostError
+	return errors.As(err, &pe) || errors.As(err, &rc) || errors.As(err, &ml) ||
+		errors.Is(err, errMeshDown)
+}
+
+// latePool adapts the engine's accounted buffer pool for the TCP
+// transport. The Cluster it charges get/put to is created only after the
+// mesh is up (NewClusterOn needs the transport), so the pointer is set
+// late; until then — and for the handful of frames that may decode
+// before the attempt starts — it falls back to bare allocation.
+type latePool struct {
+	c atomic.Pointer[Cluster]
+}
+
+func (p *latePool) Get(n int) []graph.Edge {
+	if c := p.c.Load(); c != nil {
+		return c.getBuf(n)
+	}
+	return make([]graph.Edge, 0, n)
+}
+
+func (p *latePool) Put(b []graph.Edge) {
+	if c := p.c.Load(); c != nil {
+		c.putBuf(b)
+	}
+}
+
+// procState is one process's cross-attempt state in a cluster run.
+type procState struct {
+	cc       ClusterConfig
+	cfg      Config
+	r        int
+	lo, hi   int
+	planHash uint64
+	faults   *tcp.FaultState
+	byID     map[int]Tile
+	sinks    []*fencedRankSink // local ranks, indexed rank-lo
+}
+
+func newProcState(cc ClusterConfig, cfg Config) *procState {
+	p := cc.Procs[cc.Self]
+	ps := &procState{
+		cc: cc, cfg: cfg,
+		r:        cfg.Plan.R,
+		lo:       p.Lo,
+		hi:       p.Hi,
+		planHash: PlanHash(cfg.Plan),
+		byID:     make(map[int]Tile),
+	}
+	for _, tiles := range cfg.Plan.Tiles {
+		for _, t := range tiles {
+			ps.byID[t.ID] = t
+		}
+	}
+	if cfg.Faults != nil && cfg.Faults.TCP != (transport.TCPFaults{}) {
+		// Armed once per process lifetime: the frame countdowns must keep
+		// counting across attempts, like the in-proc one-shot crash
+		// counters, so a fault that fired stays fired on the replay.
+		ps.faults = tcp.NewFaultState(cfg.Faults.TCP)
+	}
+	ps.sinks = make([]*fencedRankSink, p.Hi-p.Lo)
+	for i := range ps.sinks {
+		ps.sinks[i] = &fencedRankSink{rank: p.Lo + i, curTile: -1}
+	}
+	return ps
+}
+
+func (ps *procState) sinkFor(rk *Rank) (attemptSink, error) {
+	f := ps.sinks[rk.ID()-ps.lo]
+	if f.under == nil {
+		rs, err := ps.cfg.Sink.Rank(rk)
+		if err != nil {
+			return nil, err
+		}
+		f.under = rs
+		f.bs, _ = rs.(BlockStorer)
+	}
+	return f, nil
+}
+
+// resolveTiles turns a begin message's tile-ID assignment into the
+// engine's per-rank tile arrays (local ranks only — runAttempt never
+// touches remote ranks' entries).
+func (ps *procState) resolveTiles(ids map[int][]int) ([][]Tile, error) {
+	assigned := make([][]Tile, ps.r)
+	for rk := ps.lo; rk < ps.hi; rk++ {
+		for _, id := range ids[rk] {
+			t, ok := ps.byID[id]
+			if !ok {
+				return nil, fmt.Errorf("dist: cluster assignment names unknown tile %d", id)
+			}
+			assigned[rk] = append(assigned[rk], t)
+		}
+	}
+	return assigned, nil
+}
+
+// attempt runs one epoch of the engine on this process: build the mesh,
+// run the local rank range, harvest the fenced sinks, tear the mesh
+// down. The returned report is ready to send (or, on the head, to fold
+// directly).
+func (ps *procState) attempt(ctx context.Context, epoch int64, assigned [][]Tile, skip map[int]map[int]int64) ctrlMsg {
+	rep := ctrlMsg{Kind: ctrlReport, Epoch: epoch}
+	fail := func(err error) ctrlMsg {
+		rep.RunErr = err.Error()
+		rep.Recoverable = clusterRecoverable(err)
+		return rep
+	}
+	for i, f := range ps.sinks {
+		f.skip = make(map[int]int64, len(skip[ps.lo+i]))
+		for id, n := range skip[ps.lo+i] {
+			f.skip[id] = n
+		}
+		f.stored = make(map[int]int64)
+		f.skipped = 0
+		f.curTile = -1
+	}
+	pool := &latePool{}
+	tr, err := tcp.Connect(ctx, ps.cc.Node, tcp.Config{
+		Procs: ps.cc.Procs, Self: ps.cc.Self, PlanHash: ps.planHash,
+		Pool: pool, Faults: ps.faults, DialTimeout: ps.cc.DialTimeout,
+	}, epoch)
+	if err != nil {
+		// A peer that is down during mesh establishment is the same
+		// recoverable fault as one that dies mid-run — unless the peer
+		// refused the handshake (a different plan is a config error no
+		// retry can fix) or the run itself was cancelled.
+		if ctx.Err() == nil && !errors.Is(err, tcp.ErrHandshake) {
+			err = fmt.Errorf("%w: %v", errMeshDown, err)
+		}
+		return fail(err)
+	}
+	c, err := NewClusterOn(tr)
+	if err != nil {
+		tr.Close()
+		return fail(err)
+	}
+	pool.c.Store(c)
+	c.epoch = epoch
+
+	perGen := make([]int64, ps.r)
+	perStored := make([]int64, ps.r)
+	runErr := runAttempt(ctx, c, ps.cfg.Owner, assigned, ps.sinkFor, perGen, perStored, ps.cfg.batchSize())
+	st := c.Stats()
+
+	rep.Stored = make(map[int]map[int]int64, len(ps.sinks))
+	rep.Gen = make(map[int]int64, len(ps.sinks))
+	rep.StoredN = make(map[int]int64, len(ps.sinks))
+	for i, f := range ps.sinks {
+		rk := ps.lo + i
+		f.flushCur()
+		m := make(map[int]int64, len(f.stored))
+		for id, n := range f.stored {
+			if n > 0 {
+				m[id] = n
+			}
+		}
+		rep.Stored[rk] = m
+		rep.Skipped += f.skipped
+		rep.Gen[rk] = perGen[rk]
+		rep.StoredN[rk] = perStored[rk]
+	}
+	rep.Traffic = trafficStats{
+		Generated: st.EdgesGenerated, Routed: st.EdgesRouted,
+		Bytes: st.BytesSent, Messages: st.Messages,
+		Stale: st.StaleBatches + tr.StaleFrames(), MaxDepth: st.MaxInboxDepth,
+	}
+	// Drain inbox residue back to the pool before the mesh dies, then
+	// tear it down — the next attempt builds a fresh one at its epoch.
+	c.Reset()
+	tr.Close()
+	if runErr != nil {
+		rep.RunErr = runErr.Error()
+		rep.Recoverable = clusterRecoverable(runErr)
+	}
+	return rep
+}
+
+// finalize closes every locally created RankSink exactly once.
+func (ps *procState) finalize() error {
+	var first error
+	for _, f := range ps.sinks {
+		if f.under == nil {
+			continue
+		}
+		if err := f.under.Close(); err != nil && first == nil {
+			first = err
+		}
+		f.under = nil
+	}
+	return first
+}
+
+// foldReport merges one proc's attempt report into the aggregate stats.
+func foldReport(agg *Stats, rep *ctrlMsg) {
+	agg.EdgesGenerated += rep.Traffic.Generated
+	agg.EdgesRouted += rep.Traffic.Routed
+	agg.BytesSent += rep.Traffic.Bytes
+	agg.Messages += rep.Traffic.Messages
+	agg.StaleBatches += rep.Traffic.Stale
+	if rep.Traffic.MaxDepth > agg.MaxInboxDepth {
+		agg.MaxInboxDepth = rep.Traffic.MaxDepth
+	}
+	agg.DuplicatesSkipped += rep.Skipped
+	for rk, n := range rep.Gen {
+		agg.PerRankGenerated[rk] += n
+	}
+	for rk, n := range rep.StoredN {
+		agg.PerRankStored[rk] += n
+	}
+}
+
+// RunCluster executes one engine run across the static cluster in cc:
+// the head (proc 0) supervises, workers execute. Every process must call
+// it with an identical Plan (PlanHash enforces this at every connection)
+// and a Sink able to host its local rank range. Config.Recovery arms
+// process-level recovery exactly as it arms rank-level recovery
+// in-process; Config.Faults contributes only its TCP schedule here (the
+// in-proc crash/link fields govern simulated clusters).
+//
+// On the head the returned Stats aggregate the whole cluster across all
+// attempts; workers return their local share. The error (or nil) is
+// consistent across processes: workers learn the run's outcome from the
+// head's done message.
+func RunCluster(ctx context.Context, cc ClusterConfig, cfg Config) (Stats, error) {
+	if cc.Self < 0 || cc.Self >= len(cc.Procs) {
+		return Stats{}, fmt.Errorf("dist: cluster self index %d out of range [0,%d)", cc.Self, len(cc.Procs))
+	}
+	if got := cc.Procs[len(cc.Procs)-1].Hi; got != cfg.Plan.R {
+		return Stats{}, fmt.Errorf("dist: cluster hosts %d ranks, plan has %d", got, cfg.Plan.R)
+	}
+	ps := newProcState(cc, cfg)
+	if cc.Self == 0 {
+		return runClusterHead(ctx, ps)
+	}
+	return runClusterWorker(ctx, ps)
+}
+
+// runClusterWorker is the non-head process loop: obey begin/done from
+// the head until the run concludes. The head dying mid-run is a loud
+// failure — a worker must never hang on a silent cluster.
+func runClusterWorker(ctx context.Context, ps *procState) (Stats, error) {
+	cc, err := tcp.DialControl(ctx, ps.cc.Procs[0].Addr, ps.cc.Self, ps.planHash)
+	if err != nil {
+		return Stats{}, fmt.Errorf("dist: worker %d joining head: %w", ps.cc.Self, err)
+	}
+	defer cc.Close()
+	agg := Stats{PerRankGenerated: make([]int64, ps.r), PerRankStored: make([]int64, ps.r)}
+	for {
+		var m ctrlMsg
+		if err := cc.Recv(ctx, &m); err != nil {
+			_ = ps.finalize()
+			return agg, fmt.Errorf("dist: worker %d lost head control link: %w", ps.cc.Self, err)
+		}
+		switch m.Kind {
+		case ctrlBegin:
+			assigned, err := ps.resolveTiles(m.Tiles)
+			var rep ctrlMsg
+			if err != nil {
+				rep = ctrlMsg{Kind: ctrlReport, Epoch: m.Epoch, RunErr: err.Error()}
+			} else {
+				rep = ps.attempt(ctx, m.Epoch, assigned, m.Skip)
+			}
+			foldReport(&agg, &rep)
+			if err := cc.Send(rep); err != nil {
+				ps.finalize()
+				return agg, fmt.Errorf("dist: worker %d reporting to head: %w", ps.cc.Self, err)
+			}
+		case ctrlDone:
+			ferr := ps.finalize()
+			_ = cc.Send(ctrlMsg{Kind: ctrlBye})
+			if m.Err != "" {
+				return agg, errors.New(m.Err)
+			}
+			return agg, ferr
+		default:
+			ps.finalize()
+			return agg, fmt.Errorf("dist: worker %d: unexpected control message %q", ps.cc.Self, m.Kind)
+		}
+	}
+}
+
+// runClusterHead is the supervising process: it owns the checkpoint
+// table, drives attempts over the control connections, participates in
+// each attempt with its own rank range, and decides the run's outcome.
+func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
+	n := len(ps.cc.Procs)
+	conns := make([]*tcp.CtrlConn, n)
+	defer func() {
+		for _, cc := range conns {
+			if cc != nil {
+				cc.Close()
+			}
+		}
+	}()
+	// ensureWorkers blocks until every worker has a live control
+	// connection — at startup, and again after a death while the
+	// external supervisor (script, orchestrator) respawns the process.
+	ensureWorkers := func() error {
+		for {
+			missing := false
+			for p := 1; p < n; p++ {
+				if conns[p] == nil {
+					missing = true
+				}
+			}
+			if !missing {
+				return nil
+			}
+			cc, err := ps.cc.Node.AcceptControl(ctx)
+			if err != nil {
+				return fmt.Errorf("dist: head waiting for workers: %w", err)
+			}
+			if cc.Peer < 1 || cc.Peer >= n {
+				cc.Close()
+				continue
+			}
+			if old := conns[cc.Peer]; old != nil {
+				old.Close() // superseded by a redial
+			}
+			conns[cc.Peer] = cc
+		}
+	}
+
+	// The checkpoint table, exactly the in-process supervisor's, but
+	// per-proc instead of per-goroutine on the recovery side.
+	var tiles []*tileState
+	byID := make(map[int]*tileState)
+	for rk, ts := range ps.cfg.Plan.Tiles {
+		for _, t := range ts {
+			st := &tileState{tile: t, owner: rk, stored: make([]int64, ps.r)}
+			tiles = append(tiles, st)
+			byID[t.ID] = st
+		}
+	}
+	routed := ps.cfg.Owner != nil
+	agg := Stats{
+		PerRankGenerated: make([]int64, ps.r),
+		PerRankStored:    make([]int64, ps.r),
+		RetriesPerRank:   make([]int64, ps.r),
+	}
+	var runErr error
+	for attempt := 0; ; attempt++ {
+		if err := ensureWorkers(); err != nil {
+			runErr = err
+			break
+		}
+		// Assignment: every uncommitted tile at its owner, with the skip
+		// prefixes recovery fencing needs at each destination.
+		assignIDs := make(map[int][]int)
+		skip := make(map[int]map[int]int64)
+		addSkip := func(rank, tile int, cnt int64) {
+			if skip[rank] == nil {
+				skip[rank] = make(map[int]int64)
+			}
+			skip[rank][tile] = cnt
+		}
+		for _, ts := range tiles {
+			if ts.committed {
+				continue
+			}
+			assignIDs[ts.owner] = append(assignIDs[ts.owner], ts.tile.ID)
+			if routed {
+				for d, cnt := range ts.stored {
+					if cnt > 0 {
+						addSkip(d, ts.tile.ID, cnt)
+					}
+				}
+			} else if cnt := ts.storedTotal(); cnt > 0 {
+				addSkip(ts.owner, ts.tile.ID, cnt)
+			}
+		}
+		epoch := int64(attempt)
+		begin := ctrlMsg{Kind: ctrlBegin, Epoch: epoch, Tiles: assignIDs, Skip: skip}
+		for p := 1; p < n; p++ {
+			if err := conns[p].Send(begin); err != nil {
+				// Died between attempts; the attempt proceeds and fails
+				// recoverably, and ensureWorkers picks up the respawn.
+				conns[p].Close()
+				conns[p] = nil
+			}
+		}
+
+		assigned, err := ps.resolveTiles(assignIDs)
+		if err != nil {
+			runErr = err
+			break
+		}
+		rep0 := ps.attempt(ctx, epoch, assigned, skip)
+
+		// Collect: the final collective synchronized every live proc with
+		// the head's own attempt, so live workers report promptly; only a
+		// dead one runs the timeout down.
+		reports := make([]*ctrlMsg, n)
+		reports[0] = &rep0
+		var deadProcs []int
+		for p := 1; p < n; p++ {
+			if conns[p] == nil {
+				deadProcs = append(deadProcs, p)
+				continue
+			}
+			rctx, cancel := context.WithTimeout(ctx, ps.cc.reportTimeout())
+			var m ctrlMsg
+			err := conns[p].Recv(rctx, &m)
+			cancel()
+			if err != nil || m.Kind != ctrlReport {
+				conns[p].Close()
+				conns[p] = nil
+				deadProcs = append(deadProcs, p)
+				continue
+			}
+			reports[p] = &m
+		}
+
+		// Harvest into the checkpoint table; fold stats.
+		ok := true
+		var attemptErr error
+		recoverable := true
+		for _, rep := range reports {
+			if rep == nil {
+				ok = false
+				continue
+			}
+			foldReport(&agg, rep)
+			for rk, m := range rep.Stored {
+				for id, cnt := range m {
+					byID[id].stored[rk] += cnt
+				}
+			}
+			if rep.RunErr != "" {
+				ok = false
+				if attemptErr == nil || !rep.Recoverable {
+					attemptErr = errors.New(rep.RunErr)
+				}
+				if !rep.Recoverable {
+					recoverable = false
+				}
+			}
+		}
+		// A dead proc's durable output dies with it: its ShardWriters
+		// truncate on respawn, so every stored count at its ranks resets.
+		for _, p := range deadProcs {
+			pr := ps.cc.Procs[p]
+			for _, ts := range tiles {
+				for d := pr.Lo; d < pr.Hi; d++ {
+					ts.stored[d] = 0
+				}
+			}
+		}
+		// Commitment is recomputed, not sticky: a tile whose edges lived
+		// on a dead proc un-commits and replays.
+		for _, ts := range tiles {
+			ts.committed = ts.storedTotal() == ts.tile.Arcs()
+		}
+		if ok {
+			if attempt > 0 {
+				agg.RecoveredRuns = 1
+			}
+			break
+		}
+		if len(deadProcs) > 0 && attemptErr == nil {
+			attemptErr = fmt.Errorf("dist: proc(s) %v died mid-attempt", deadProcs)
+		}
+		runErr = attemptErr
+		if !recoverable || attempt >= ps.cfg.MaxRetries {
+			break
+		}
+		// Attribute the retry to the first blamed proc's first rank (or
+		// rank 0 for in-run faults the reports did not localize).
+		blameRank := 0
+		if len(deadProcs) > 0 {
+			blameRank = ps.cc.Procs[deadProcs[0]].Lo
+		}
+		agg.RetriesPerRank[blameRank]++
+		runErr = nil
+		if err := sleepBackoff(ctx, ps.cfg.Backoff, attempt+1); err != nil {
+			runErr = err
+			break
+		}
+	}
+
+	// Conclude: tell every reachable worker, wait for their sinks to
+	// flush (bye) so on-disk output is complete before the caller
+	// finalizes a manifest, then close local sinks.
+	done := ctrlMsg{Kind: ctrlDone}
+	if runErr != nil {
+		done.Err = runErr.Error()
+	}
+	for p := 1; p < n; p++ {
+		if conns[p] == nil {
+			continue
+		}
+		if err := conns[p].Send(done); err != nil {
+			conns[p].Close()
+			conns[p] = nil
+		}
+	}
+	for p := 1; p < n; p++ {
+		if conns[p] == nil {
+			continue
+		}
+		rctx, cancel := context.WithTimeout(ctx, ps.cc.reportTimeout())
+		var m ctrlMsg
+		_ = conns[p].Recv(rctx, &m)
+		cancel()
+	}
+	if ferr := ps.finalize(); runErr == nil {
+		runErr = ferr
+	}
+	return agg, runErr
+}
+
+// GenerateClusterToStore is the cluster-mode generateToStore: every
+// process streams its local ranks' owned edges to shard files under the
+// shared dir (shard index = global rank, so the processes never
+// collide), and the head finalizes the manifest from the shard files
+// themselves once every worker has flushed — store.Recover derives the
+// exact counts, which stays correct even when a respawned worker
+// truncated and rewrote its shards mid-run. Workers return a nil store.
+func GenerateClusterToStore(ctx context.Context, a, b *graph.Graph, dir string, twoD bool, cc ClusterConfig, rec Recovery) (*store.Store, Stats, error) {
+	r := cc.Procs[len(cc.Procs)-1].Hi
+	plan, err := planFor(a, b, r, twoD)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	cfg := Config{
+		Plan:     plan,
+		Owner:    OwnerBySource,
+		Sink:     NewStoreSink(dir, r),
+		Recovery: rec,
+	}
+	st, err := RunCluster(ctx, cc, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	if cc.Self != 0 {
+		return nil, st, nil
+	}
+	s, err := store.Recover(dir, plan.NC)
+	if err != nil {
+		return nil, st, fmt.Errorf("dist: finalizing cluster store: %w", err)
+	}
+	return s, st, nil
+}

@@ -54,12 +54,27 @@ type shipper struct {
 	rk      *Rank
 	c       *Cluster
 	rx      *receiver
+	onRecv  func(Message) // rx.recv as a stored method value: one alloc per exchange, reused by every SendBatch
 	batch   int
 	bufs    [][]graph.Edge // staged batch per destination (nil until targeted)
 	tile    []int          // tile of the staged batch, per destination
 	nspare  int
 	spare   [spareCap][]graph.Edge // rank-local recycled buffers (lock-free)
 	aborted bool
+}
+
+// newShipper wires one rank's staging state to the cluster's transport:
+// the per-destination buffers, the inline receiver, and the progress
+// callback SendBatch uses to deliver this rank's inbound batches while
+// an outbound send blocks.
+func newShipper(rk *Rank, batch int, handle func(tile int, edges []graph.Edge)) *shipper {
+	c := rk.c
+	s := &shipper{rk: rk, c: c, batch: batch,
+		rx:   &receiver{c: c, id: rk.id, epoch: c.epoch, handle: handle},
+		bufs: make([][]graph.Edge, c.r), tile: make([]int, c.r)}
+	s.rx.s = s
+	s.onRecv = s.rx.recv
+	return s
 }
 
 // spareCap bounds the rank-local spare stack; releases beyond it spill
@@ -142,17 +157,15 @@ func (rx *receiver) recv(m Message) {
 	}
 }
 
-// progress drains every message already buffered in the rank's inbox
-// without blocking — a no-op select when the inbox is empty.
+// progress drains every message the transport has already buffered for
+// this rank without blocking — a no-op when nothing is pending.
 func (rx *receiver) progress() {
-	inbox := rx.c.inboxes[rx.id]
 	for {
-		select {
-		case m := <-inbox:
-			rx.recv(m)
-		default:
+		m, ok := rx.c.tr.TryRecv(rx.id)
+		if !ok {
 			return
 		}
+		rx.recv(m)
 	}
 }
 
@@ -164,14 +177,17 @@ func (rx *receiver) progress() {
 // fault as its cause, so the failure is loud rather than a silently
 // missing edge batch.
 //
-// Rank-local messages skip the inbox: with the receiver inline on the
-// sending goroutine the batch is applied directly, as an MPI rank does
-// for self-addressed traffic. While a cross-rank send blocks on a full
-// inbox, the rank receives from its own inbox instead of spinning — the
-// progress that makes the inline engine deadlock-free: any rank with a
-// full inbox is itself one recv away from making space.
+// Rank-local messages skip the transport: with the receiver inline on
+// the sending goroutine the batch is applied directly, as an MPI rank
+// does for self-addressed traffic. Cross-rank batches go through
+// Transport.SendBatch with the shipper's progress callback, so while a
+// send blocks the rank keeps receiving its own traffic — the progress
+// that makes the inline engine deadlock-free: any rank blocked sending
+// is itself one recv away from freeing a peer.
 func (s *shipper) send(to int, m Message) bool {
 	rk, c := s.rk, s.c
+	m.From = rk.id
+	m.Dest = to
 	m.Epoch = c.epoch
 	if f := c.faults; f != nil {
 		if err := f.crash(rk.id, FaultMidExchange); err != nil {
@@ -200,25 +216,20 @@ func (s *shipper) send(to int, m Message) bool {
 		s.rx.recv(m)
 		return true
 	}
-	own := c.inboxes[rk.id]
-	for {
-		select {
-		case c.inboxes[to] <- m:
-			atomic.AddInt64(&c.stats.Messages, 1)
-			if len(m.Edges) > 0 {
-				atomic.AddInt64(&c.stats.EdgesRouted, int64(len(m.Edges)))
-				atomic.AddInt64(&c.stats.BytesSent, int64(len(m.Edges))*edgeWireBytes)
-			}
-			if d := int64(len(c.inboxes[to])); d > 0 {
-				atomicMax(&c.stats.MaxInboxDepth, d)
-			}
-			return true
-		case m2 := <-own:
-			s.rx.recv(m2)
-		case <-c.ctx.Done():
-			return false
+	if err := c.tr.SendBatch(c.ctx, m, s.onRecv); err != nil {
+		// A transport failure (dead peer link) must be loud, not a
+		// silently missing batch: make it the run's cancellation cause.
+		if c.ctx.Err() == nil {
+			c.cancel(err)
 		}
+		return false
 	}
+	atomic.AddInt64(&c.stats.Messages, 1)
+	if len(m.Edges) > 0 {
+		atomic.AddInt64(&c.stats.EdgesRouted, int64(len(m.Edges)))
+		atomic.AddInt64(&c.stats.BytesSent, int64(len(m.Edges))*edgeWireBytes)
+	}
+	return true
 }
 
 // flush ships the staged batch for one destination (or a bare EOF
@@ -330,10 +341,7 @@ func (s *shipper) stage(to, tile int, e graph.Edge) bool {
 // handle must copy edges it retains.
 func (rk *Rank) exchangeBlocks(batch int, produce func(s *shipper), handle func(tile int, edges []graph.Edge)) error {
 	c := rk.c
-	s := &shipper{rk: rk, c: c, batch: batch,
-		rx:   &receiver{c: c, id: rk.id, epoch: c.epoch, handle: handle},
-		bufs: make([][]graph.Edge, c.r), tile: make([]int, c.r)}
-	s.rx.s = s
+	s := newShipper(rk, batch, handle)
 	defer func() {
 		// Return the rank-local spares to the shared freelist in one
 		// locked push, so the next run (or cluster) starts warm.
@@ -345,14 +353,16 @@ func (rk *Rank) exchangeBlocks(batch int, produce func(s *shipper), handle func(
 		s.flush(to, true)
 	}
 	// Drain until every rank's EOF marker (our own included) arrives.
-	inbox := c.inboxes[rk.id]
 	for !s.aborted && s.rx.eofs < c.r {
-		select {
-		case m := <-inbox:
-			s.rx.recv(m)
-		case <-c.ctx.Done():
+		m, err := c.tr.Recv(c.ctx, rk.id)
+		if err != nil {
+			if c.ctx.Err() == nil {
+				c.cancel(err)
+			}
 			s.aborted = true
+			break
 		}
+		s.rx.recv(m)
 	}
 	if s.aborted || c.ctx.Err() != nil {
 		// Nothing will deliver the staged batches now; recycle them or

@@ -29,6 +29,8 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"time"
+
+	"kronlab/internal/dist/transport"
 )
 
 // FaultPoint identifies where in a run an injected rank crash fires.
@@ -159,6 +161,14 @@ type FaultPlan struct {
 
 	// Crashes schedules any number of rank deaths (see CrashSpec).
 	Crashes []CrashSpec
+
+	// TCP schedules wire-level faults for cluster mode (RunCluster): dial
+	// delays, mid-exchange connection resets, torn frames and whole-process
+	// kills, applied by the TCP transport of the process whose FaultPlan
+	// carries them. The in-process fields above govern the simulated
+	// transport only and are ignored by cluster mode; TCP is ignored by
+	// in-process runs.
+	TCP transport.TCPFaults
 
 	// CrashRank, CrashPoint and CrashAfter are the legacy single-crash
 	// form, folded into Crashes when CrashPoint != FaultNone.

@@ -1,0 +1,154 @@
+// Package transport defines the rank-to-rank link under the distributed
+// engine's Exchange: a Transport delivers tile-framed edge batches
+// between ranks and runs the two collectives (barrier, all-reduce sum)
+// the engine's teardown integrity check needs. The engine in
+// internal/dist is written against this interface only, so the same
+// Plan→Expand→Route→Sink code runs over goroutine channels in one
+// process (transport/chan) or over length-prefixed TCP between processes
+// (transport/tcp) — the paper's actual deployment shape (MPI on Sequoia,
+// PAPER.md §2), with only the link layer swapped.
+//
+// Contract highlights (the conformance suite in internal/dist asserts
+// these against every implementation):
+//
+//   - Per-link FIFO: batches from rank s to rank d are delivered in the
+//     order s sent them. Cross-link order is unspecified.
+//   - SendBatch may block; while it does, the implementation must keep
+//     delivering batches addressed to the *sending* rank through the
+//     progress callback — the inline receive progress that makes a
+//     bufferless all-to-all deadlock-free (any rank blocked sending is
+//     itself one recv away from freeing a peer).
+//   - A blocked SendBatch/Recv/collective returns the cancellation cause
+//     of ctx when the run is torn down, never hangs.
+//   - Ownership of Batch.Edges passes to the transport on a successful
+//     SendBatch only: an in-process transport hands the very slice to
+//     the receiver (zero copy), a wire transport serializes it and
+//     returns it to the BufferPool. On an error return the buffer stays
+//     with the caller (the engine's abort path recycles it exactly once).
+package transport
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kronlab/internal/graph"
+)
+
+// Batch is one unit of rank-to-rank traffic: a tile-framed run of
+// product edges from one sender, or a bare EOF marker ending the
+// sender's stream for the exchange. Epoch is the run attempt the batch
+// belongs to; receivers fence on it so residue from a torn-down attempt
+// can never be double-applied.
+type Batch struct {
+	From  int
+	Dest  int
+	Epoch int64
+	Tile  int
+	Edges []graph.Edge
+	EOF   bool
+}
+
+// BufferPool recycles edge batch buffers across the transport boundary,
+// so a wire transport's decode path and serialize-then-discard path
+// stay in the engine's pooled-buffer accounting instead of allocating
+// per batch.
+type BufferPool interface {
+	// Get returns an empty buffer with capacity for about n edges.
+	Get(n int) []graph.Edge
+	// Put recycles a buffer the transport is done with.
+	Put(b []graph.Edge)
+}
+
+// Transport is the rank-to-rank link under the engine's Exchange. All
+// rank arguments are global rank IDs in [0, R); Recv/TryRecv may only be
+// called for local ranks. Implementations must be safe for concurrent
+// use by all local ranks (one goroutine per rank).
+type Transport interface {
+	// R returns the total number of ranks across the whole cluster.
+	R() int
+	// Local returns the contiguous rank range [lo, hi) hosted by this
+	// process. In-process transports host every rank: (0, R).
+	Local() (lo, hi int)
+	// SendBatch delivers b to rank b.Dest, blocking until accepted.
+	// While blocked it delivers batches addressed to rank b.From through
+	// progress. It returns ctx's cancellation cause when the run is torn
+	// down, or a transport failure (e.g. a dead peer link) — either way
+	// the batch was not delivered and its buffer stays with the caller.
+	SendBatch(ctx context.Context, b Batch, progress func(Batch)) error
+	// TryRecv pops one pending batch for a local rank without blocking.
+	TryRecv(rank int) (Batch, bool)
+	// Recv blocks until a batch for a local rank arrives, returning
+	// ctx's cancellation cause or the transport failure otherwise.
+	Recv(ctx context.Context, rank int) (Batch, error)
+	// Barrier blocks rank until every rank of every process has entered
+	// the same barrier generation, or returns the cancellation cause.
+	Barrier(ctx context.Context, rank int) error
+	// AllReduceSum adds v across every rank of every process and returns
+	// the total to each, or the cancellation cause.
+	AllReduceSum(ctx context.Context, rank int, v int64) (int64, error)
+	// Reset drains locally buffered residue (handing each drained batch
+	// to release) and rewinds collective state, returning the transport
+	// to a runnable state between run attempts.
+	Reset(release func(Batch))
+	// Close tears the transport down; blocked calls return errors.
+	Close() error
+}
+
+// PeerError reports the death of a peer process's link mid-run — the
+// cluster-mode analogue of a rank crash. It carries the peer's proc
+// index so a supervisor can blame the right process and wait for its
+// respawn.
+type PeerError struct {
+	Proc int
+	Err  error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("transport: link to proc %d failed: %v", e.Proc, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Proc names one process of a static cluster: its listen address and the
+// contiguous global rank range [Lo, Hi) it hosts.
+type Proc struct {
+	Addr   string
+	Lo, Hi int
+}
+
+// Ranks returns the number of ranks the process hosts.
+func (p Proc) Ranks() int { return p.Hi - p.Lo }
+
+// SplitRanks assigns r ranks contiguously and near-evenly across the
+// given addresses — the static peer layout of cluster mode. Process i
+// owns [i·r/n, (i+1)·r/n).
+func SplitRanks(addrs []string, r int) []Proc {
+	n := len(addrs)
+	procs := make([]Proc, n)
+	for i, a := range addrs {
+		procs[i] = Proc{Addr: a, Lo: i * r / n, Hi: (i + 1) * r / n}
+	}
+	return procs
+}
+
+// TCPFaults schedules wire-level fault injection for the TCP transport —
+// the cluster-mode counterpart of the link faults dist.FaultPlan injects
+// on the simulated transport. The zero value injects nothing. Frame
+// counters are process-wide across links, so a schedule stays
+// deterministic regardless of how traffic interleaves across peers.
+type TCPFaults struct {
+	// DialDelay delays every outbound dial — a slow peer coming up.
+	DialDelay time.Duration
+	// ResetAfterFrames hard-closes (RST) the link that writes the Nth
+	// outbound batch frame of this process, mid-exchange.
+	ResetAfterFrames int64
+	// PartialWriteFrame writes only a prefix of the Nth outbound batch
+	// frame before hard-closing the link — a torn frame the peer's
+	// decoder must reject loudly.
+	PartialWriteFrame int64
+	// KillAfterFrames SIGKILLs the whole process after writing the Nth
+	// outbound batch frame — a real process death, buffered state lost,
+	// for the crash-then-recover suites.
+	KillAfterFrames int64
+}

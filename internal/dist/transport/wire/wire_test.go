@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"kronlab/internal/graph"
+	"kronlab/internal/store"
+)
+
+// TestBatchRoundTrip encodes batches of assorted shapes and asserts the
+// decode returns the identical header fields and edge sequence.
+func TestBatchRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []graph.Edge
+		eof   bool
+	}{
+		{"empty-eof", nil, true},
+		{"single", []graph.Edge{{U: 1, V: 2}}, false},
+		{"negative-endpoints", []graph.Edge{{U: -9, V: 1 << 62}}, false},
+		{"batch-with-eof", []graph.Edge{{U: 3, V: 4}, {U: 5, V: 6}, {U: 7, V: 8}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := AppendBatch(nil, 3, 11, 42, -7, tc.edges, tc.eof)
+			if want := BatchFrameSize(len(tc.edges)); len(frame) != want {
+				t.Fatalf("frame size %d, want %d", len(frame), want)
+			}
+			h, edges, n, err := DecodeBatch(nil, frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(frame) {
+				t.Fatalf("consumed %d of %d bytes", n, len(frame))
+			}
+			if h.From != 3 || h.Dest != 11 || h.Epoch != 42 || h.Tile != -7 || h.EOF() != tc.eof {
+				t.Fatalf("header mismatch: %+v", h)
+			}
+			if len(edges) != len(tc.edges) {
+				t.Fatalf("decoded %d edges, want %d", len(edges), len(tc.edges))
+			}
+			for i, e := range edges {
+				if e != tc.edges[i] {
+					t.Fatalf("edge %d = %v, want %v", i, e, tc.edges[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchPayloadMatchesStoreRecords pins the zero-copy claim: the
+// payload bytes of a batch frame are exactly the store records the disk
+// sink would write for the same edges.
+func TestBatchPayloadMatchesStoreRecords(t *testing.T) {
+	edges := []graph.Edge{{U: 17, V: -1}, {U: 0, V: 1 << 40}}
+	frame := AppendBatch(nil, 0, 1, 1, 0, edges, false)
+	var want bytes.Buffer
+	var rec [store.RecordSize]byte
+	for _, e := range edges {
+		store.PutRecord(rec[:], e.U, e.V)
+		want.Write(rec[:])
+	}
+	if got := frame[HeaderSize:]; !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("payload bytes differ from store records:\n got %x\nwant %x", got, want.Bytes())
+	}
+}
+
+// TestDecodeRejections drives every validation branch: truncation at
+// each boundary, bad magic, version skew, oversized and ragged
+// payloads, wrong kind.
+func TestDecodeRejections(t *testing.T) {
+	good := AppendBatch(nil, 0, 1, 5, 2, []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}}, false)
+
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrShortFrame},
+		{"short-header", good[:HeaderSize-1], ErrShortFrame},
+		{"truncated-payload", good[:len(good)-1], ErrShortFrame},
+		{"bad-magic", corrupt(func(b []byte) { b[0] ^= 0xff }), ErrBadMagic},
+		{"version-skew", corrupt(func(b []byte) { binary.LittleEndian.PutUint16(b[6:], Version+1) }), ErrVersion},
+		{"oversized", corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[32:], MaxPayload+1) }), ErrOversized},
+		{"ragged-payload", corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 17) }), ErrBadPayload},
+		{"wrong-kind", corrupt(func(b []byte) { b[4] = KindControl }), ErrBadPayload},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, err := DecodeBatch(nil, tc.b); !errors.Is(err, tc.want) {
+				t.Fatalf("DecodeBatch = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeBatchConsumesOneFrame decodes two concatenated frames and
+// asserts the consumed count lands exactly on the second header.
+func TestDecodeBatchConsumesOneFrame(t *testing.T) {
+	stream := AppendBatch(nil, 0, 1, 1, 0, []graph.Edge{{U: 1, V: 1}}, false)
+	stream = AppendBatch(stream, 0, 1, 1, 1, []graph.Edge{{U: 2, V: 2}}, true)
+	h1, edges, n, err := DecodeBatch(nil, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Tile != 0 || len(edges) != 1 || edges[0].U != 1 {
+		t.Fatalf("first frame decoded wrong: %+v %v", h1, edges)
+	}
+	h2, edges2, _, err := DecodeBatch(nil, stream[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Tile != 1 || !h2.EOF() || len(edges2) != 1 || edges2[0].U != 2 {
+		t.Fatalf("second frame decoded wrong: %+v %v", h2, edges2)
+	}
+}
+
+// FuzzDecodeBatch holds the decoder to its no-panic contract: arbitrary
+// bytes either decode to a well-formed batch or return an error —
+// truncated and oversized frames are rejected loudly, and any frame
+// that does decode must re-encode to the same bytes it consumed.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendBatch(nil, 0, 1, 1, 0, nil, true))
+	f.Add(AppendBatch(nil, 2, 3, 9, 4, []graph.Edge{{U: 1, V: 2}}, false))
+	big := AppendBatch(nil, 0, 1, 1, 0, make([]graph.Edge, 64), false)
+	f.Add(big[:40])          // truncated mid-payload
+	f.Add(append(big, 1, 2)) // trailing garbage (must be ignored)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, edges, n, err := DecodeBatch(nil, b)
+		if err != nil {
+			return
+		}
+		if n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if len(edges)*store.RecordSize != int(h.PayloadLen) {
+			t.Fatalf("decoded %d edges from %d payload bytes", len(edges), h.PayloadLen)
+		}
+		re := AppendBatch(nil, h.From, h.Dest, h.Epoch, h.Tile, edges, h.EOF())
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode differs:\n got %x\nwant %x", re, b[:n])
+		}
+	})
+}

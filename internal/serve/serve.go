@@ -32,6 +32,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"kronlab/internal/dist/transport/wire"
 )
 
 // Config tunes a Server. Zero values select the documented defaults.
@@ -282,6 +284,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"factors":        s.reg.Len(),
 		"inflight":       s.lim.Inflight(),
 		"queued":         s.lim.Waiting(),
+		// The wire protocol this build speaks as a cluster peer, so an
+		// operator can spot a version-skewed deployment before the
+		// transport handshake refuses it.
+		"transport_protocol": wire.Version,
 	})
 }
 

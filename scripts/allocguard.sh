@@ -1,12 +1,14 @@
 #!/bin/sh
-# Allocation regression guard for the end-to-end generation benchmark.
+# Allocation regression guard for the end-to-end generation benchmark
+# and the TCP transport exchange benchmark.
 #
-# Runs BenchmarkE2Generate1D with -benchmem and compares allocs/op per
-# sub-benchmark against the newest committed BENCH_*.json snapshot. Fails
-# when any sub-benchmark allocates more than ALLOW× the snapshot figure
-# (default 1.2 — a 20% regression budget; allocs/op is deterministic
-# enough that this never flakes while still catching a reintroduced
-# per-batch allocation).
+# Runs BenchmarkE2Generate1D and BenchmarkTCPExchangeThroughput with
+# -benchmem and compares allocs/op per sub-benchmark against the newest
+# committed BENCH_*.json snapshot. Fails when any sub-benchmark allocates
+# more than ALLOW× the snapshot figure (default 1.2 — a 20% regression
+# budget; allocs/op is deterministic enough that this never flakes while
+# still catching a reintroduced per-batch allocation, in the engine or
+# on the wire path).
 #
 # Usage:
 #   scripts/allocguard.sh                 # guard against newest BENCH_*.json
@@ -30,20 +32,24 @@ echo "allocguard: baseline $SNAPSHOT, budget ${ALLOW}x" >&2
 baseline() {
     grep -o '"Output":"[^"]*' "$SNAPSHOT" | sed 's/"Output":"//' | tr -d '\n' |
         sed 's/\\n/\n/g; s/\\t/\t/g' |
-        grep 'allocs/op' | grep '^BenchmarkE2Generate1D' || true
+        grep 'allocs/op' |
+        grep -e '^BenchmarkE2Generate1D' -e '^BenchmarkTCPExchangeThroughput' || true
 }
 
 CUR=$(mktemp) && BASE=$(mktemp)
 trap 'rm -f "$CUR" "$BASE"' EXIT
 baseline >"$BASE"
-if [ ! -s "$BASE" ]; then
+if ! grep -q '^BenchmarkE2Generate1D' "$BASE"; then
     echo "allocguard: $SNAPSHOT has no BenchmarkE2Generate1D results" >&2
     exit 2
 fi
 
 # benchtime 10x keeps the guard fast; allocs/op does not depend on the
-# iteration count once pools are warm.
+# iteration count once pools are warm. The TCP guard only bites when the
+# snapshot contains transport rows (older snapshots have no comparable
+# rows; the join below skips them).
 go test -run '^$' -bench 'BenchmarkE2Generate1D' -benchmem -benchtime 10x . >"$CUR"
+go test -run '^$' -bench 'BenchmarkTCPExchangeThroughput' -benchmem -benchtime 10x ./internal/dist/ >>"$CUR"
 
 awk -v allow="$ALLOW" '
 {
