@@ -119,6 +119,30 @@ func BenchmarkE2Generate2D(b *testing.B) {
 	}
 }
 
+// BenchmarkE2GenerateChain drives the generator through the chain
+// kernel at increasing depth: K=2 takes the direct two-factor expansion
+// branch, K=3 the lazy tail-cursor fold. The allocguard budget on this
+// benchmark pins the chain path to the same zero-per-arc allocation
+// discipline as the two-factor kernel.
+func BenchmarkE2GenerateChain(b *testing.B) {
+	base := gen.PrefAttach(16, 2, 21)
+	for _, k := range []int{2, 3} {
+		ch, err := core.PowerChain(base, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("K=%d/R=4", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := dist.GenerateChain(ch, 4, nil, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(res.Stats.EdgesGenerated * 16)
+			}
+		})
+	}
+}
+
 func BenchmarkE2SerialProduct(b *testing.B) {
 	fixtures(b)
 	for i := 0; i < b.N; i++ {

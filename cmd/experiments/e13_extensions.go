@@ -114,11 +114,15 @@ func runExtensions(w io.Writer) error {
 		return err
 	}
 	pcTri := analytics.Triangles(pc)
-	powOK := groundtruth.PowerNumEdges(pf, k) == pc.NumEdges() &&
+	powM, err := groundtruth.PowerNumEdges(pf, k)
+	if err != nil {
+		return err
+	}
+	powOK := powM == pc.NumEdges() &&
 		groundtruth.PowerGlobalTriangles(pf, k) == pcTri.Global
 	fmt.Fprintln(w)
 	table(w, []string{"Power law (A^{⊗3})", "Predicted", "Measured", "OK"}, [][]string{
-		{"m = 2^{k−1}·m_A^k", fmtInt(groundtruth.PowerNumEdges(pf, k)), fmtInt(pc.NumEdges()), check(powOK)},
+		{"m = 2^{k−1}·m_A^k", fmtInt(powM), fmtInt(pc.NumEdges()), check(powOK)},
 		{"τ = 6^{k−1}·τ_A^k", fmtInt(groundtruth.PowerGlobalTriangles(pf, k)), fmtInt(pcTri.Global), check(powOK)},
 	})
 	fmt.Fprintf(w, "\n(Extension beyond the paper's evaluation; laws follow by induction\n")

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 
+	"kronlab/internal/core"
 	"kronlab/internal/dist"
 	"kronlab/internal/gen"
+	"kronlab/internal/graph"
 )
 
 // runWeakScaling reproduces Rem. 1: with only A's edges distributed, at
@@ -72,6 +74,47 @@ func runWeakScaling(w io.Writer) error {
 		}
 	}
 	table(w, []string{"R", "mode", "edges generated", "measured max work/rank", "complete"}, rows2)
+
+	// Factor chains: for A⊗T^{⊗(k-1)} the head A stays the rank-split
+	// dimension, so the 1D wall is |arcs_A| at every depth k while the
+	// lazy tail fold multiplies per-rank work by |arcs_T| per level.
+	tail := gen.PrefAttach(6, 2, 305)
+	const rChain = 64
+	fmt.Fprintf(w, "\nChain depth: A ⊗ T^(k-1) with T: %v (%d arcs). Busy ranks stay capped\n",
+		tail, tail.NumArcs())
+	fmt.Fprintf(w, "at |arcs_A| = %d independent of k (R = %d):\n\n", a.NumArcs(), rChain)
+
+	var rows3 [][]string
+	for k := 2; k <= 4; k++ {
+		factors := []*graph.Graph{a}
+		for j := 1; j < k; j++ {
+			factors = append(factors, tail)
+		}
+		ch, err := core.NewChain(factors...)
+		if err != nil {
+			return err
+		}
+		wantArcs, err := ch.NumArcs()
+		if err != nil {
+			return err
+		}
+		plan, err := dist.PlanChain1D(ch, rChain)
+		if err != nil {
+			return err
+		}
+		sink := &dist.CountSink{}
+		st, err := dist.Run(context.Background(), dist.Config{Plan: plan, Sink: sink})
+		if err != nil {
+			return err
+		}
+		rows3 = append(rows3, []string{
+			fmt.Sprint(k), fmtInt(wantArcs),
+			fmt.Sprint(dist.EffectiveParallelism1D(a, rChain)),
+			fmtInt(st.MaxGenerated()),
+			check(sink.Total() == wantArcs),
+		})
+	}
+	table(w, []string{"k", "arcs", "busy ranks (1D)", "measured max work/rank", "complete"}, rows3)
 	return nil
 }
 

@@ -1,13 +1,25 @@
-// Command krongen is the paper's deliverable (a): it reads two factor
-// graphs A and B from edge-list files and produces the nonstochastic
-// Kronecker product C = A ⊗ B, either serially or on a simulated
-// distributed cluster with 1D (Sec. III) or 2D (Rem. 1) partitioning.
+// Command krongen is the paper's deliverable (a): it reads factor graphs
+// from edge-list files and produces the nonstochastic Kronecker product,
+// either serially or on a simulated distributed cluster with 1D
+// (Sec. III) or 2D (Rem. 1) partitioning. The product can be the
+// two-factor C = A ⊗ B, a Kronecker power A^{⊗k}, or a heterogeneous
+// factor chain A₁⊗A₂⊗…⊗Aₖ — all three run the same chain engine, with
+// the tail factors folded lazily so no pairwise intermediate is ever
+// materialized.
 //
 // Usage:
 //
-//	krongen -a A.txt -b B.txt [-out C.txt] [-mode serial|1d|2d] [-ranks R]
-//	        [-self-loops] [-binary] [-stats] [-store DIR [-shards S]]
-//	        [-cluster-peers H:P,H:P,... -cluster-self N [-retries K]]
+//	krongen -a A.txt -b B.txt [flags]          two-factor product A ⊗ B
+//	krongen -a A.txt -power k [flags]          Kronecker power A^{⊗k}
+//	krongen -chain A1.txt,A2.txt,... [flags]   factor chain A₁⊗A₂⊗…
+//
+//	flags: [-out C.txt] [-mode serial|1d|2d] [-ranks R] [-self-loops]
+//	       [-binary] [-stats] [-store DIR [-shards S]]
+//	       [-cluster-peers H:P,H:P,... -cluster-self N [-retries K]]
+//
+// Before generating, krongen prints the closed-form expected |V| and |E|
+// of the product to stderr, and refuses to start when either count
+// overflows int64 — a plan built from a wrapped count is garbage.
 //
 // With -store the product streams to a sharded on-disk store instead of
 // an edge-list file: serially (shard count -shards), or under -mode 1d/2d
@@ -21,9 +33,9 @@
 // (assigning work, collecting results, retrying up to -retries times
 // after a peer process dies) and finalizes the store manifest.
 //
-// With -self-loops the product is (A+I) ⊗ (B+I), the construction required
-// by the triangle (Cor. 1/2), distance (Thm. 3) and community (Thm. 6)
-// ground-truth formulas.
+// With -self-loops every factor gets full self loops first — the
+// ⊗(A_d+I) construction required by the triangle (Cor. 1/2), distance
+// (Thm. 3) and community (Thm. 6) ground-truth formulas.
 package main
 
 import (
@@ -48,13 +60,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("krongen: ")
 
-	aPath := flag.String("a", "", "edge-list file for factor A (required)")
-	bPath := flag.String("b", "", "edge-list file for factor B (required unless -power)")
-	power := flag.Int("power", 0, "generate the Kronecker power A^{⊗k} instead of A ⊗ B (serial mode)")
+	aPath := flag.String("a", "", "edge-list file for factor A")
+	bPath := flag.String("b", "", "edge-list file for factor B")
+	power := flag.Int("power", 0, "generate the Kronecker power A^{⊗k} instead of A ⊗ B (any mode)")
+	chainSpec := flag.String("chain", "", "comma-separated edge-list files A1,A2,...: generate the factor chain A1⊗A2⊗… (instead of -a/-b)")
 	outPath := flag.String("out", "", "output file for C (default: stdout)")
 	mode := flag.String("mode", "serial", "generation mode: serial, 1d, 2d")
 	ranks := flag.Int("ranks", 4, "simulated ranks for 1d/2d modes")
-	selfLoops := flag.Bool("self-loops", false, "generate (A+I) ⊗ (B+I)")
+	selfLoops := flag.Bool("self-loops", false, "generate the full-self-loop product ⊗(A_d+I)")
 	binary := flag.Bool("binary", false, "write the binary edge-list format")
 	stats := flag.Bool("stats", false, "print generation statistics to stderr")
 	storeDir := flag.String("store", "", "stream C to a sharded on-disk store at this directory instead of an edge-list file")
@@ -74,61 +87,105 @@ func main() {
 		if err != nil {
 			log.Fatalf("loading store: %v", err)
 		}
-		out := os.Stdout
-		if *outPath != "" {
-			f, err := os.Create(*outPath)
-			if err != nil {
-				log.Fatalf("creating output: %v", err)
-			}
-			defer f.Close()
-			out = f
-		}
-		if err := g.WriteEdgeList(out); err != nil {
+		if err := g.WriteEdgeList(openOut(*outPath)); err != nil {
 			log.Fatalf("writing edge list: %v", err)
 		}
 		return
 	}
 
-	if *aPath == "" || (*bPath == "" && *power < 2) {
-		flag.Usage()
-		os.Exit(2)
+	// --- Up-front flag validation: every inconsistency is reported before
+	// any file is read or any expander starts. ---
+	switch *mode {
+	case "serial", "1d", "2d":
+	default:
+		log.Fatalf("unknown mode %q (want serial, 1d or 2d)", *mode)
 	}
-	a, err := graph.LoadUndirected(*aPath)
-	if err != nil {
-		log.Fatalf("loading A: %v", err)
+	if *mode != "serial" && *ranks < 1 {
+		log.Fatalf("-ranks must be ≥ 1, got %d", *ranks)
 	}
-	if *selfLoops {
-		a = a.WithFullSelfLoops()
+	if *storeDir != "" && *mode == "serial" && *shards < 1 {
+		log.Fatalf("-shards must be ≥ 1, got %d", *shards)
 	}
-	var b *graph.Graph
-	if *power >= 2 {
-		// A^{⊗k} = A^{⊗(k−1)} ⊗ A: build the left operand first, then fall
-		// through to the usual two-factor path with B = A.
-		if *bPath != "" {
-			log.Fatal("-power takes only -a; drop -b")
-		}
-		b = a
-		for i := 2; i < *power; i++ {
-			a, err = core.Product(a, b)
-			if err != nil {
-				log.Fatalf("building A^{⊗%d}: %v", i, err)
-			}
+	if *chainSpec != "" {
+		if *aPath != "" || *bPath != "" || *power != 0 {
+			log.Fatal("-chain replaces -a/-b/-power; drop them")
 		}
 	} else {
+		if *aPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *power != 0 {
+			if *power < 2 {
+				log.Fatalf("-power must be ≥ 2, got %d", *power)
+			}
+			if *bPath != "" {
+				log.Fatal("-power takes only -a; drop -b")
+			}
+		} else if *bPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+	if *clusterPeers != "" && (*storeDir == "" || *mode == "serial") {
+		log.Fatal("-cluster-peers requires -store and -mode 1d or 2d")
+	}
+
+	// --- Build the factor chain; every generation path below consumes it. ---
+	var ch *core.Chain
+	var err error
+	switch {
+	case *chainSpec != "":
+		paths := strings.Split(*chainSpec, ",")
+		factors := make([]*graph.Graph, len(paths))
+		for i, p := range paths {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				log.Fatalf("-chain has an empty entry in %q", *chainSpec)
+			}
+			factors[i], err = graph.LoadUndirected(p)
+			if err != nil {
+				log.Fatalf("loading chain factor %d: %v", i+1, err)
+			}
+		}
+		ch, err = core.NewChain(factors...)
+	case *power >= 2:
+		var a *graph.Graph
+		a, err = graph.LoadUndirected(*aPath)
+		if err != nil {
+			log.Fatalf("loading A: %v", err)
+		}
+		ch, err = core.PowerChain(a, *power)
+	default:
+		var a, b *graph.Graph
+		a, err = graph.LoadUndirected(*aPath)
+		if err != nil {
+			log.Fatalf("loading A: %v", err)
+		}
 		b, err = graph.LoadUndirected(*bPath)
 		if err != nil {
 			log.Fatalf("loading B: %v", err)
 		}
-		if *selfLoops {
-			b = b.WithFullSelfLoops()
-		}
+		ch, err = core.NewChain(a, b)
+	}
+	if err != nil {
+		log.Fatalf("building factor chain: %v", err)
+	}
+	if *selfLoops {
+		ch = ch.WithFullSelfLoops()
 	}
 
+	// --- Closed-form expected size, printed before generating; an
+	// overflowing count is a refusal, not a wrapped number. ---
+	edges, arcs, err := ch.NumEdges()
+	if err != nil {
+		log.Fatalf("refusing to generate: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "expecting |V| = %d, |E| = %d (%d arcs) from %d factor(s)\n",
+		ch.NumVertices(), edges, arcs, ch.K())
+
 	if *clusterPeers != "" {
-		if *storeDir == "" || (*mode != "1d" && *mode != "2d") {
-			log.Fatal("-cluster-peers requires -store and -mode 1d or 2d")
-		}
-		runCluster(a, b, *mode == "2d", *storeDir, *clusterPeers, *clusterSelf, *ranks, *retries, *stats)
+		runCluster(ch, *mode == "2d", *storeDir, *clusterPeers, *clusterSelf, *ranks, *retries, *stats)
 		return
 	}
 
@@ -136,17 +193,7 @@ func main() {
 		// Distributed generate-route-store: each rank streams its owned
 		// edges to its own shard, O(batch) memory per rank.
 		start := time.Now()
-		var st *store.Store
-		var genStats dist.Stats
-		var err error
-		switch *mode {
-		case "1d":
-			st, genStats, err = dist.Generate1DToStore(a, b, *ranks, *storeDir)
-		case "2d":
-			st, genStats, err = dist.Generate2DToStore(a, b, *ranks, *storeDir)
-		default:
-			log.Fatalf("unknown mode %q (want serial, 1d or 2d)", *mode)
-		}
+		st, genStats, err := dist.GenerateChainToStore(ch, *ranks, *storeDir, *mode == "2d")
 		if err != nil {
 			log.Fatalf("generating to store: %v", err)
 		}
@@ -161,16 +208,16 @@ func main() {
 	}
 
 	if *storeDir != "" {
-		// Streaming path: never materialize C. The expansion is the
-		// serial Sec. III loop; edges go straight to the sharded store.
+		// Streaming path: never materialize C. The expansion is the serial
+		// chain enumeration; edges go straight to the sharded store.
 		start := time.Now()
-		w, err := store.NewWriter(*storeDir, a.NumVertices()*b.NumVertices(), *shards, nil)
+		w, err := store.NewWriter(*storeDir, ch.NumVertices(), *shards, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var count int64
 		var werr error
-		core.StreamProduct(a, b, func(u, v int64) bool {
+		ch.Arcs(func(u, v int64) bool {
 			if err := w.Append(u, v); err != nil {
 				werr = err
 				return false
@@ -197,39 +244,21 @@ func main() {
 	var genStats dist.Stats
 	switch *mode {
 	case "serial":
-		c, err = core.Product(a, b)
+		c, err = ch.Materialize()
 	case "1d", "2d":
 		var res *dist.Result
-		if *mode == "1d" {
-			res, err = dist.Generate1D(a, b, *ranks, nil)
-		} else {
-			res, err = dist.Generate2D(a, b, *ranks, nil)
-		}
+		res, err = dist.GenerateChain(ch, *ranks, nil, *mode == "2d")
 		if err == nil {
 			genStats = res.Stats
 			c, err = res.Collect()
 		}
-	default:
-		log.Fatalf("unknown mode %q (want serial, 1d or 2d)", *mode)
 	}
 	if err != nil {
 		log.Fatalf("generating product: %v", err)
 	}
 	elapsed := time.Since(start)
 
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatalf("creating output: %v", err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatalf("closing output: %v", err)
-			}
-		}()
-		out = f
-	}
+	out := openOut(*outPath)
 	if *binary {
 		err = c.WriteBinary(out)
 	} else {
@@ -238,9 +267,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("writing C: %v", err)
 	}
+	if out != os.Stdout {
+		if err := out.Close(); err != nil {
+			log.Fatalf("closing output: %v", err)
+		}
+	}
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "A: %v\nB: %v\nC: %v\n", a, b, c)
+		for i, g := range ch.Factors() {
+			fmt.Fprintf(os.Stderr, "A%d: %v\n", i+1, g)
+		}
+		fmt.Fprintf(os.Stderr, "C: %v\n", c)
 		fmt.Fprintf(os.Stderr, "generated in %v (%.0f edges/s)\n",
 			elapsed, float64(c.NumArcs())/elapsed.Seconds())
 		if *mode != "serial" {
@@ -250,13 +287,25 @@ func main() {
 	}
 }
 
+// openOut opens the -out file, or stdout when unset.
+func openOut(path string) *os.File {
+	if path == "" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("creating output: %v", err)
+	}
+	return f
+}
+
 // runCluster runs this process's share of a multi-process TCP cluster
-// generation. Every peer process runs the same command line except for
-// -cluster-self, derives the identical plan from the shared factor files,
-// and the plan-hash handshake refuses any peer whose plan disagrees.
-// Process 0 finalizes the store and prints the -stats summary; workers
-// exit silently on success.
-func runCluster(a, b *graph.Graph, twoD bool, dir, peers string, self, ranks, retries int, stats bool) {
+// generation of a factor chain. Every peer process runs the same command
+// line except for -cluster-self, derives the identical chain plan from
+// the shared factor files, and the plan-hash handshake refuses any peer
+// whose plan disagrees. Process 0 finalizes the store and prints the
+// -stats summary; workers exit silently on success.
+func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retries int, stats bool) {
 	addrs := strings.Split(peers, ",")
 	for i, s := range addrs {
 		addrs[i] = strings.TrimSpace(s)
@@ -268,9 +317,9 @@ func runCluster(a, b *graph.Graph, twoD bool, dir, peers string, self, ranks, re
 		log.Fatalf("-ranks %d is fewer than the %d cluster processes", ranks, len(addrs))
 	}
 
-	plan, err := dist.Plan1D(a, b, ranks)
+	plan, err := dist.PlanChain1D(ch, ranks)
 	if twoD {
-		plan, err = dist.Plan2D(a, b, ranks)
+		plan, err = dist.PlanChain2D(ch, ranks)
 	}
 	if err != nil {
 		log.Fatalf("planning: %v", err)
@@ -285,7 +334,7 @@ func runCluster(a, b *graph.Graph, twoD bool, dir, peers string, self, ranks, re
 	defer cancel()
 
 	start := time.Now()
-	st, genStats, err := dist.GenerateClusterToStore(ctx, a, b, dir, twoD,
+	st, genStats, err := dist.GenerateChainClusterToStore(ctx, ch, dir, twoD,
 		dist.ClusterConfig{
 			Procs: transport.SplitRanks(addrs, ranks),
 			Self:  self,

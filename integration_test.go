@@ -5,6 +5,7 @@ package kronlab_test
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -327,6 +328,119 @@ func TestDecorateCLI(t *testing.T) {
 	}
 	if err := exec.Command(bin, "-a", loopy, "-b", bPath).Run(); err == nil {
 		t.Error("decorate should reject looped factors")
+	}
+}
+
+// TestKrongenChainCLI checks the -chain flag (three heterogeneous
+// factors, distributed 2D mode) against the materialized chain product,
+// plus the up-front validation and expected-size output.
+func TestKrongenChainCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "kronlab/cmd/krongen", "krongen")
+	dir := t.TempDir()
+	gs := []*graph.Graph{gen.Ring(5), gen.Path(4), gen.Clique(3)}
+	paths := make([]string, len(gs))
+	for i, g := range gs {
+		paths[i] = filepath.Join(dir, []string{"a", "b", "c"}[i]+".txt")
+		if err := g.SaveEdgeList(paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outPath := filepath.Join(dir, "chain.txt")
+	cmd := exec.Command(bin, "-chain", strings.Join(paths, ","), "-mode", "2d", "-ranks", "3", "-out", outPath)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("krongen -chain: %v\n%s", err, stderr.String())
+	}
+	ch, err := core.NewChain(gs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ch.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The closed-form size must be announced before generation.
+	if !strings.Contains(stderr.String(), fmt.Sprintf("|V| = %d", want.NumVertices())) ||
+		!strings.Contains(stderr.String(), fmt.Sprintf("|E| = %d", want.NumEdges())) {
+		t.Errorf("missing expected-size banner in stderr: %q", stderr.String())
+	}
+	got, err := graph.LoadUndirected(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges, gotEdges := want.EdgeList(), got.EdgeList()
+	if len(wantEdges) != len(gotEdges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(gotEdges), len(wantEdges))
+	}
+	for i := range wantEdges {
+		if wantEdges[i] != gotEdges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+
+	// Invalid flag combinations are rejected up front.
+	for _, args := range [][]string{
+		{"-chain", strings.Join(paths, ","), "-a", paths[0]},
+		{"-a", paths[0], "-power", "1"},
+		{"-a", paths[0], "-mode", "3d"},
+		{"-a", paths[0], "-b", paths[1], "-cluster-peers", "x:1,y:2"},
+	} {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("krongen %v should be rejected", args)
+		}
+	}
+
+	// An overflowing chain is refused with an explicit error before any
+	// generation starts: K3^{⊗45} has 3^45 > 2^63 vertices.
+	cmd = exec.Command(bin, "-a", paths[2], "-power", "45")
+	stderr.Reset()
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Error("krongen should refuse an overflowing power")
+	} else if !strings.Contains(stderr.String(), "overflow") {
+		t.Errorf("overflow refusal message: %q", stderr.String())
+	}
+}
+
+// TestKrongenPowerStoreCLI: -power now runs through the distributed
+// chain engine (no serial KronPower materialization); the 1d store
+// stream must still equal the serial power edge-for-edge.
+func TestKrongenPowerStoreCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "kronlab/cmd/krongen", "krongen")
+	dir := t.TempDir()
+	a := gen.PrefAttach(5, 2, 17)
+	aPath := filepath.Join(dir, "a.txt")
+	if err := a.SaveEdgeList(aPath); err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(dir, "pstore")
+	cmd := exec.Command(bin, "-a", aPath, "-power", "3", "-mode", "1d", "-ranks", "4", "-store", storeDir)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("krongen -power -store: %v\n%s", err, stderr.String())
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := st.LoadGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.KronPower(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onDisk.Equal(want) {
+		t.Fatal("distributed power store stream differs from serial KronPower")
 	}
 }
 

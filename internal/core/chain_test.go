@@ -1,0 +1,400 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kronlab/internal/graph"
+)
+
+// chainOf builds a Chain from factors, failing the test on error.
+func chainOf(t *testing.T, factors ...*graph.Graph) *Chain {
+	t.Helper()
+	c, err := NewChain(factors...)
+	if err != nil {
+		t.Fatalf("NewChain: %v", err)
+	}
+	return c
+}
+
+func TestChainIndexMatchesPowerIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Int63n(6)
+		k := 1 + rng.Intn(5)
+		px := NewPowerIndex(n, k)
+		dims := make([]int64, k)
+		for d := range dims {
+			dims[d] = n
+		}
+		ci, err := NewChainIndex(dims)
+		if err != nil {
+			t.Fatalf("NewChainIndex(%v): %v", dims, err)
+		}
+		if ci.NumVertices() != px.NumVertices() {
+			t.Fatalf("NumVertices: chain %d, power %d", ci.NumVertices(), px.NumVertices())
+		}
+		for i := 0; i < 20; i++ {
+			p := rng.Int63n(ci.NumVertices())
+			cs, ps := ci.Split(p), px.Split(p)
+			for d := range cs {
+				if cs[d] != ps[d] {
+					t.Fatalf("Split(%d): chain %v, power %v", p, cs, ps)
+				}
+			}
+			if got := ci.Join(cs); got != px.Join(ps) || got != p {
+				t.Fatalf("Join(Split(%d)) = %d", p, got)
+			}
+		}
+	}
+}
+
+func TestChainIndexDigitsAndStrides(t *testing.T) {
+	ci := MustChainIndex(3, 4, 5)
+	if ci.NumVertices() != 60 {
+		t.Fatalf("NumVertices = %d, want 60", ci.NumVertices())
+	}
+	wantStrides := []int64{20, 5, 1}
+	for d, w := range wantStrides {
+		if ci.Stride(d) != w {
+			t.Fatalf("Stride(%d) = %d, want %d", d, ci.Stride(d), w)
+		}
+	}
+	// p = 2·20 + 3·5 + 4 = 59, the largest vertex.
+	for d, w := range []int64{2, 3, 4} {
+		if got := ci.Digit(59, d); got != w {
+			t.Fatalf("Digit(59, %d) = %d, want %d", d, got, w)
+		}
+	}
+	// k = 2 Digit specializes to α/β.
+	two := MustChainIndex(7, 11)
+	ix := NewIndex(11)
+	for p := int64(0); p < 77; p++ {
+		if two.Digit(p, 0) != ix.Alpha(p) || two.Digit(p, 1) != ix.Beta(p) {
+			t.Fatalf("Digit(%d) disagrees with α/β", p)
+		}
+	}
+}
+
+func TestChainIndexSplitJoinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(5)
+		dims := make([]int64, k)
+		for d := range dims {
+			dims[d] = 1 + rng.Int63n(9)
+		}
+		ci, err := NewChainIndex(dims)
+		if err != nil {
+			t.Fatalf("NewChainIndex(%v): %v", dims, err)
+		}
+		buf := make([]int64, k)
+		for i := 0; i < 50; i++ {
+			p := rng.Int63n(ci.NumVertices())
+			coords := ci.SplitInto(p, buf)
+			for d, c := range coords {
+				if c < 0 || c >= dims[d] {
+					t.Fatalf("Split(%d) digit %d = %d out of [0,%d)", p, d, c, dims[d])
+				}
+				if got := ci.Digit(p, d); got != c {
+					t.Fatalf("Digit(%d,%d) = %d, Split gave %d", p, d, got, c)
+				}
+			}
+			if got := ci.Join(coords); got != p {
+				t.Fatalf("Join(Split(%d)) = %d (dims %v)", p, got, dims)
+			}
+		}
+	}
+}
+
+func TestChainIndexOverflow(t *testing.T) {
+	if _, err := NewChainIndex([]int64{1 << 32, 1 << 32}); err == nil {
+		t.Fatal("want overflow error for 2^32 × 2^32 vertices")
+	}
+	if _, err := NewChainIndex(nil); err == nil {
+		t.Fatal("want error for empty dims")
+	}
+	if _, err := NewChainIndex([]int64{4, 0}); err == nil {
+		t.Fatal("want error for zero dim")
+	}
+}
+
+func TestCheckedMulAndProduct(t *testing.T) {
+	if p, ok := CheckedMul(1<<31, 1<<31); !ok || p != 1<<62 {
+		t.Fatalf("CheckedMul(2^31,2^31) = %d,%v", p, ok)
+	}
+	if _, ok := CheckedMul(1<<32, 1<<32); ok {
+		t.Fatal("CheckedMul(2^32,2^32) should overflow")
+	}
+	if p, ok := CheckedMul(0, 1<<62); !ok || p != 0 {
+		t.Fatalf("CheckedMul(0,big) = %d,%v", p, ok)
+	}
+	if _, ok := CheckedMul(-1, 2); ok {
+		t.Fatal("CheckedMul rejects negatives")
+	}
+	if p, err := CheckedProduct(3, 4, 5); err != nil || p != 60 {
+		t.Fatalf("CheckedProduct(3,4,5) = %d,%v", p, err)
+	}
+	if _, err := CheckedProduct(1<<22, 1<<22, 1<<22); err == nil {
+		t.Fatal("CheckedProduct(2^66) should overflow")
+	}
+}
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(); err == nil {
+		t.Fatal("want error for empty chain")
+	}
+	g := cliqueWithLoops(3)
+	if _, err := NewChain(g, nil, g); err == nil {
+		t.Fatal("want error for nil factor")
+	}
+	if _, err := PowerChain(g, 0); err == nil {
+		t.Fatal("want error for k = 0")
+	}
+}
+
+func TestChainMaterializeMatchesKronPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		a := randomGraph(rng, 5, true)
+		for k := 1; k <= 3; k++ {
+			want, err := KronPower(a, k)
+			if err != nil {
+				t.Fatalf("KronPower: %v", err)
+			}
+			ch, err := PowerChain(a, k)
+			if err != nil {
+				t.Fatalf("PowerChain: %v", err)
+			}
+			got, err := ch.Materialize()
+			if err != nil {
+				t.Fatalf("Materialize: %v", err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d k=%d: chain materialization differs from KronPower", trial, k)
+			}
+		}
+	}
+}
+
+func TestChainMaterializeMatchesLeftFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		a := randomGraph(rng, 4, true)
+		b := randomGraph(rng, 3, false)
+		c := randomGraph(rng, 4, true)
+		ab, err := Product(a, b)
+		if err != nil {
+			t.Fatalf("Product(a,b): %v", err)
+		}
+		want, err := Product(ab, c)
+		if err != nil {
+			t.Fatalf("Product(ab,c): %v", err)
+		}
+		got, err := chainOf(t, a, b, c).Materialize()
+		if err != nil {
+			t.Fatalf("Materialize: %v", err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: heterogeneous chain differs from left-fold product", trial)
+		}
+	}
+}
+
+func TestChainArcsOrderMatchesStreamProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomGraph(rng, 5, true)
+	b := randomGraph(rng, 4, false)
+	var want, got []graph.Edge
+	StreamProduct(a, b, func(u, v int64) bool {
+		want = append(want, graph.Edge{U: u, V: v})
+		return true
+	})
+	chainOf(t, a, b).Arcs(func(u, v int64) bool {
+		got = append(got, graph.Edge{U: u, V: v})
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("arc count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arc %d: got %v, want %v (order must match StreamProduct)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestChainArcsEarlyStop(t *testing.T) {
+	ch := chainOf(t, cliqueWithLoops(3), cliqueWithLoops(2), cliqueWithLoops(2))
+	seen := 0
+	ch.Arcs(func(u, v int64) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Fatalf("early stop saw %d arcs, want 5", seen)
+	}
+}
+
+func TestChainNumEdgesMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		ch := chainOf(t,
+			randomGraph(rng, 4, true),
+			randomGraph(rng, 3, trial%2 == 0),
+			randomGraph(rng, 3, true))
+		g, err := ch.Materialize()
+		if err != nil {
+			t.Fatalf("Materialize: %v", err)
+		}
+		edges, arcs, err := ch.NumEdges()
+		if err != nil {
+			t.Fatalf("NumEdges: %v", err)
+		}
+		if arcs != g.NumArcs() || edges != g.NumEdges() {
+			t.Fatalf("trial %d: closed form edges=%d arcs=%d, materialized edges=%d arcs=%d",
+				trial, edges, arcs, g.NumEdges(), g.NumArcs())
+		}
+	}
+}
+
+func TestChainWithFullSelfLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a, b := randomGraph(rng, 4, false), randomGraph(rng, 3, false)
+	want, err := ProductWithSelfLoops(a, b)
+	if err != nil {
+		t.Fatalf("ProductWithSelfLoops: %v", err)
+	}
+	got, err := chainOf(t, a, b).WithFullSelfLoops().Materialize()
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("chain +I differs from ProductWithSelfLoops")
+	}
+}
+
+func TestChainNumArcsOverflow(t *testing.T) {
+	// A 2-vertex graph with 4 arcs (complete with loops): 4^32 arcs
+	// overflows int64 while 2^32 vertices still... does not fit either,
+	// so use a 1-vertex loop chain for vertices and check arcs via a
+	// factor list that keeps n small: n=2, arcs=4, k=32 → n^32 = 2^64
+	// overflows too. Instead: n=2 (2 vertices, 4 arcs), k=31:
+	// vertices 2^31 ok, arcs 4^31 = 2^62 ok; k=32 overflows vertices
+	// first. Use a 3-vertex, 9-arc factor: n^k = 3^k fits through k=39,
+	// arcs 9^k overflows at k=21.
+	f := cliqueWithLoops(3)
+	ch, err := PowerChain(f, 21)
+	if err != nil {
+		t.Fatalf("PowerChain: %v", err)
+	}
+	if _, err := ch.NumArcs(); err == nil {
+		t.Fatal("want arc-count overflow error at 9^21")
+	}
+	if _, _, err := ch.NumEdges(); err == nil {
+		t.Fatal("want edge-count overflow error at 9^21")
+	}
+	if _, err := ch.Materialize(); err == nil {
+		t.Fatal("Materialize must refuse an overflowing chain")
+	}
+}
+
+// tailCursorReference collects composed tail arcs through a materialized
+// tail product, the slow oracle for TailCursor.
+func tailCursorReference(t *testing.T, tail []*graph.Graph) []graph.Edge {
+	t.Helper()
+	var out []graph.Edge
+	ch := chainOf(t, tail...)
+	ch.Arcs(func(u, v int64) bool {
+		out = append(out, graph.Edge{U: u, V: v})
+		return true
+	})
+	return out
+}
+
+func TestTailCursorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(3)
+		tail := make([]*graph.Graph, m)
+		for d := range tail {
+			tail[d] = randomGraph(rng, 4, d%2 == 0)
+		}
+		want := tailCursorReference(t, tail)
+		tc := NewTailCursor(tail)
+		if tc.Total() != int64(len(want)) {
+			t.Fatalf("Total = %d, want %d", tc.Total(), len(want))
+		}
+		for _, batch := range []int{1, 3, 7, 1024} {
+			tc.Reset()
+			var got []graph.Edge
+			buf := make([]graph.Edge, 0, batch)
+			for {
+				block := tc.ExpandNext(0, 0, buf[:0], batch)
+				if len(block) == 0 {
+					break
+				}
+				got = append(got, block...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d batch %d: %d arcs, want %d", trial, batch, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d batch %d arc %d: got %v, want %v", trial, batch, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTailCursorExpandMatchesExpandBlock(t *testing.T) {
+	// With a materialized tail, ExpandNext(aU·nT, aV·nT, …) must equal
+	// ExpandBlock(aArc, tailArcs, nT, …) — the cursor IS the kernel's
+	// B-block, generated on the fly.
+	rng := rand.New(rand.NewSource(53))
+	tail := []*graph.Graph{randomGraph(rng, 4, true), randomGraph(rng, 3, true)}
+	tailG, err := chainOf(t, tail...).Materialize()
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	nT := tailG.NumVertices()
+	aArc := graph.Edge{U: 2, V: 5}
+	want := ExpandBlock(aArc, tailG.ArcSlice(), nT, nil)
+
+	tc := NewTailCursor(tail)
+	if tc.NumVertices() != nT {
+		t.Fatalf("cursor NumVertices = %d, want %d", tc.NumVertices(), nT)
+	}
+	var got []graph.Edge
+	buf := make([]graph.Edge, 0, 5)
+	for {
+		block := tc.ExpandNext(aArc.U*nT, aArc.V*nT, buf[:0], 5)
+		if len(block) == 0 {
+			break
+		}
+		got = append(got, block...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d arcs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arc %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTailCursorEmptyFactor(t *testing.T) {
+	empty, err := graph.New(3, nil)
+	if err != nil {
+		t.Fatalf("graph.New: %v", err)
+	}
+	tc := NewTailCursor([]*graph.Graph{cliqueWithLoops(2), empty})
+	if tc.Total() != 0 {
+		t.Fatalf("Total = %d, want 0", tc.Total())
+	}
+	if block := tc.ExpandNext(0, 0, nil, 16); len(block) != 0 {
+		t.Fatalf("empty tail yielded %d arcs", len(block))
+	}
+}

@@ -68,7 +68,7 @@ func plannedWork(p Plan) (rank int, edges int64) {
 	for rk, tiles := range p.Tiles {
 		var w int64
 		for _, tl := range tiles {
-			w += int64(len(tl.AArcs)) * tl.B.NumArcs()
+			w += tl.Arcs()
 		}
 		if w > edges {
 			rank, edges = rk, w

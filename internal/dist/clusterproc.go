@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kronlab/internal/core"
 	"kronlab/internal/dist/transport"
 	"kronlab/internal/dist/transport/tcp"
 	"kronlab/internal/graph"
@@ -75,10 +76,12 @@ func (cc ClusterConfig) reportTimeout() time.Duration {
 }
 
 // PlanHash fingerprints a plan for the cluster handshake: rank count,
-// product size, and every tile's identity, A-arc window and B-factor
-// shape. Two processes that derive different plans from what should be
-// the same inputs refuse each other's connections instead of silently
-// exchanging misrouted batches.
+// product size, the chain's factor dimensions, and every tile's
+// identity, head-arc window and tail-factor shapes. Two processes that
+// derive different plans from what should be the same inputs refuse each
+// other's connections instead of silently exchanging misrouted batches.
+// Chain depth is part of the fingerprint, so a k=3 head never handshakes
+// with a k=2 worker even when both products have the same vertex count.
 func PlanHash(p Plan) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -88,6 +91,10 @@ func PlanHash(p Plan) uint64 {
 	}
 	w(int64(p.R))
 	w(p.NC)
+	w(int64(len(p.Dims)))
+	for _, d := range p.Dims {
+		w(d)
+	}
 	for _, tiles := range p.Tiles {
 		w(int64(len(tiles)))
 		for _, t := range tiles {
@@ -97,8 +104,11 @@ func PlanHash(p Plan) uint64 {
 				w(e.U)
 				w(e.V)
 			}
-			w(t.B.NumVertices())
-			w(t.B.NumArcs())
+			w(int64(len(t.Tail)))
+			for _, g := range t.Tail {
+				w(g.NumVertices())
+				w(g.NumArcs())
+			}
 		}
 	}
 	return h.Sum64()
@@ -682,8 +692,21 @@ func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
 // exact counts, which stays correct even when a respawned worker
 // truncated and rewrote its shards mid-run. Workers return a nil store.
 func GenerateClusterToStore(ctx context.Context, a, b *graph.Graph, dir string, twoD bool, cc ClusterConfig, rec Recovery) (*store.Store, Stats, error) {
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return GenerateChainClusterToStore(ctx, ch, dir, twoD, cc, rec)
+}
+
+// GenerateChainClusterToStore is GenerateClusterToStore over a factor
+// chain A₁⊗…⊗Aₖ: the same head-supervised attempts, checkpoint table
+// and respawn recovery, with every process expanding chain tiles. The
+// plan hash covers the chain's dimensions, so mixed-depth clusters
+// refuse to form.
+func GenerateChainClusterToStore(ctx context.Context, ch *core.Chain, dir string, twoD bool, cc ClusterConfig, rec Recovery) (*store.Store, Stats, error) {
 	r := cc.Procs[len(cc.Procs)-1].Hi
-	plan, err := planFor(a, b, r, twoD)
+	plan, err := planForChain(ch, r, twoD)
 	if err != nil {
 		return nil, Stats{}, err
 	}

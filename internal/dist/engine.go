@@ -21,85 +21,153 @@ var (
 	storeLabels  = pprof.WithLabels(context.Background(), pprof.Labels("phase", "store"))
 )
 
-// Tile is one unit of expansion work: a slice of A-arcs crossed with a
-// B-factor (the whole of B under 1D partitioning, a B-part under 2D).
-// ID is the tile's plan-wide identity: it is stable across run attempts
-// and across reassignment to another rank, which is what checkpoints and
-// the exactly-once sink fence key on.
+// Tile is one unit of expansion work: a slice of head-factor arcs
+// crossed with the chain's tail factors (the whole tail under 1D
+// partitioning; under 2D the first tail factor is a part and the rest
+// ride whole). For a two-factor product the tail is just [B]. ID is the
+// tile's plan-wide identity: it is stable across run attempts and across
+// reassignment to another rank, which is what checkpoints and the
+// exactly-once sink fence key on — at any chain depth, because the tail
+// expansion order is the deterministic lexicographic odometer order of
+// core.TailCursor.
 type Tile struct {
 	ID    int
 	AArcs []graph.Edge
-	B     *graph.Graph
+	Tail  []*graph.Graph // replicated tail factors A₂⊗…⊗Aₖ (len ≥ 1)
 }
 
 // Arcs returns the number of product arcs the tile expands to —
-// deterministic ground truth (|A_i|·|E_{B_j}|), so a checkpoint can tell
-// a fully-delivered tile from a partial one without trusting the run
-// that died.
-func (t Tile) Arcs() int64 { return int64(len(t.AArcs)) * t.B.NumArcs() }
+// deterministic ground truth (|A_i|·Π|E_{T_d}|), so a checkpoint can
+// tell a fully-delivered tile from a partial one without trusting the
+// run that died.
+func (t Tile) Arcs() int64 {
+	n := int64(len(t.AArcs))
+	for _, g := range t.Tail {
+		n *= g.NumArcs()
+	}
+	return n
+}
 
 // Plan is the decomposition stage of the engine: the per-rank tile lists
-// produced by 1D (Sec. III) or 2D (Rem. 1) partitioning. Plans are inert
-// data — building one does not start a cluster — so they can be inspected,
-// rebalanced or logged before running. Tile IDs are unique within a plan.
+// produced by 1D (Sec. III) or 2D (Rem. 1) partitioning of a factor
+// chain. Plans are inert data — building one does not start a cluster —
+// so they can be inspected, rebalanced or logged before running. Tile
+// IDs are unique within a plan.
 type Plan struct {
 	R     int
-	NC    int64    // product vertex count n_A·n_B
+	NC    int64    // product vertex count Π n_d, overflow-checked at build
+	Dims  []int64  // per-factor vertex counts (head first)
 	Tiles [][]Tile // Tiles[rank] is rank's expansion work
 }
 
-// Plan1D builds the Sec. III decomposition: B is replicated on every rank
-// and the arcs of A are evenly distributed, so rank ρ expands the single
-// tile A_ρ ⊗ B. Per-rank replicated storage is O(|E_A|/R + |E_B|).
-func Plan1D(a, b *graph.Graph, r int) (Plan, error) {
-	if r < 1 {
-		return Plan{}, fmt.Errorf("dist: plan needs ≥ 1 rank, got %d", r)
+// identityTail is the 1-vertex full-self-loop graph I₁: A ⊗ I₁ = A, so a
+// single-factor chain plans as head × [I₁] and every tile keeps a
+// non-empty tail.
+func identityTail() *graph.Graph {
+	g, err := graph.New(1, []graph.Edge{{U: 0, V: 0}})
+	if err != nil {
+		panic(err)
 	}
-	// ArcSlice shares the factor's cached flat arc list: tiles only read
-	// their A-arc windows, so no per-plan copy is needed.
-	parts := PartitionArcs(a.ArcSlice(), r)
-	tiles := make([][]Tile, r)
-	for rk := 0; rk < r; rk++ {
-		tiles[rk] = []Tile{{ID: rk, AArcs: parts[rk], B: b}}
-	}
-	return Plan{R: r, NC: a.NumVertices() * b.NumVertices(), Tiles: tiles}, nil
+	return g
 }
 
-// Plan2D builds the Rem. 1 decomposition: A is split into R½ parts and B
-// into Q parts (see Grid2D), and the R½·Q tiles A_i ⊗ B_j are assigned
-// round-robin to ranks. Per-rank replicated storage drops to
-// O(|E_A|/R½ + |E_B|/Q), enabling weak scaling to O(|E_C|) processors.
-func Plan2D(a, b *graph.Graph, r int) (Plan, error) {
+// PlanChain1D builds the Sec. III decomposition of a factor chain: the
+// tail A₂⊗…⊗Aₖ is replicated on every rank and the arcs of the head A₁
+// are evenly distributed, so rank ρ expands the single tile
+// A₁,ρ ⊗ (A₂⊗…⊗Aₖ). Per-rank replicated storage is O(|E_A₁|/R + Σ|E_T|)
+// — the tail is held as factors, never materialized.
+func PlanChain1D(ch *core.Chain, r int) (Plan, error) {
 	if r < 1 {
 		return Plan{}, fmt.Errorf("dist: plan needs ≥ 1 rank, got %d", r)
 	}
+	head := ch.Head()
+	tail := ch.Tail()
+	if len(tail) == 0 {
+		tail = []*graph.Graph{identityTail()}
+	}
+	// ArcSlice shares the factor's cached flat arc list: tiles only read
+	// their head-arc windows, so no per-plan copy is needed.
+	parts := PartitionArcs(head.ArcSlice(), r)
+	tiles := make([][]Tile, r)
+	for rk := 0; rk < r; rk++ {
+		tiles[rk] = []Tile{{ID: rk, AArcs: parts[rk], Tail: tail}}
+	}
+	return Plan{R: r, NC: ch.NumVertices(), Dims: ch.Index().Dims(), Tiles: tiles}, nil
+}
+
+// PlanChain2D builds the Rem. 1 decomposition of a chain: the head is
+// split into R½ parts and the first tail factor into Q parts (see
+// Grid2D); deeper tail factors are replicated whole — they are already
+// the smallest replicated state, and splitting them would multiply tile
+// counts without reducing the O(|E_A₁|/R½ + |E_A₂|/Q + Σ|E_rest|)
+// per-rank storage term that matters. The R½·Q tiles are assigned
+// round-robin to ranks.
+func PlanChain2D(ch *core.Chain, r int) (Plan, error) {
+	if r < 1 {
+		return Plan{}, fmt.Errorf("dist: plan needs ≥ 1 rank, got %d", r)
+	}
+	head := ch.Head()
+	tail := ch.Tail()
+	if len(tail) == 0 {
+		tail = []*graph.Graph{identityTail()}
+	}
+	b, rest := tail[0], tail[1:]
 	grid := NewGrid2D(r)
-	aParts := PartitionArcs(a.ArcSlice(), grid.RHalf)
+	aParts := PartitionArcs(head.ArcSlice(), grid.RHalf)
 	bParts := PartitionArcs(b.ArcSlice(), grid.Q)
 	// Pre-build each B-part as a Graph so expansion can stream against
-	// CSR; vertex count is preserved so γ indices stay global.
-	bGraphs := make([]*graph.Graph, grid.Q)
-	for j := range bGraphs {
+	// CSR; vertex count is preserved so the mixed-radix indices stay
+	// global. Each part's tile tail shares one [part, rest...] slice.
+	tails := make([][]*graph.Graph, grid.Q)
+	for j := range tails {
 		bg, err := graph.New(b.NumVertices(), bParts[j])
 		if err != nil {
-			return Plan{}, fmt.Errorf("dist: building B part %d: %w", j, err)
+			return Plan{}, fmt.Errorf("dist: building tail part %d: %w", j, err)
 		}
-		bGraphs[j] = bg
+		tails[j] = append([]*graph.Graph{bg}, rest...)
 	}
 	tiles := make([][]Tile, r)
 	for t := 0; t < grid.Tiles(); t++ {
 		ai, bj := grid.TileOf(t)
-		tiles[t%r] = append(tiles[t%r], Tile{ID: t, AArcs: aParts[ai], B: bGraphs[bj]})
+		tiles[t%r] = append(tiles[t%r], Tile{ID: t, AArcs: aParts[ai], Tail: tails[bj]})
 	}
-	return Plan{R: r, NC: a.NumVertices() * b.NumVertices(), Tiles: tiles}, nil
+	return Plan{R: r, NC: ch.NumVertices(), Dims: ch.Index().Dims(), Tiles: tiles}, nil
 }
 
-// planFor dispatches between the two decompositions.
-func planFor(a, b *graph.Graph, r int, twoD bool) (Plan, error) {
-	if twoD {
-		return Plan2D(a, b, r)
+// Plan1D is the k = 2 special case of PlanChain1D, preserved as the
+// two-factor API of Sec. III.
+func Plan1D(a, b *graph.Graph, r int) (Plan, error) {
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return Plan{}, err
 	}
-	return Plan1D(a, b, r)
+	return PlanChain1D(ch, r)
+}
+
+// Plan2D is the k = 2 special case of PlanChain2D (Rem. 1).
+func Plan2D(a, b *graph.Graph, r int) (Plan, error) {
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return Plan{}, err
+	}
+	return PlanChain2D(ch, r)
+}
+
+// planForChain dispatches between the two decompositions.
+func planForChain(ch *core.Chain, r int, twoD bool) (Plan, error) {
+	if twoD {
+		return PlanChain2D(ch, r)
+	}
+	return PlanChain1D(ch, r)
+}
+
+// planFor is planForChain for a two-factor product.
+func planFor(a, b *graph.Graph, r int, twoD bool) (Plan, error) {
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return Plan{}, err
+	}
+	return planForChain(ch, r, twoD)
 }
 
 // RankSink consumes the edges owned by one rank. Store and Close are
@@ -276,12 +344,14 @@ func (cfg Config) batchSize() int {
 // the attemptSink sinkFor returns for it. perGen/perStored receive this
 // attempt's per-rank counters.
 //
-// Expansion order is exactly the reference StreamProductArcs order —
-// A-arcs in tile order, each crossed with B's CSR arcs — and blocks are
-// partitioned into per-destination batches in encounter order, so the
-// per-(tile, destination) substream is byte-identical across attempts.
-// That determinism is what tile checkpoints and prefix-dedup recovery
-// key on; the blocked kernel changes batching granularity, never order.
+// Expansion order is exactly the reference order — head arcs in tile
+// order, each crossed with the tail's composed arcs in lexicographic CSR
+// order (StreamProductArcs for k = 2, core.Chain.Arcs generally) — and
+// blocks are partitioned into per-destination batches in encounter
+// order, so the per-(tile, destination) substream is byte-identical
+// across attempts. That determinism is what tile checkpoints and
+// prefix-dedup recovery key on; the blocked kernel changes batching
+// granularity, never order.
 func runAttempt(ctx context.Context, c *Cluster, owner Owner, tiles [][]Tile, sinkFor func(*Rank) (attemptSink, error), perGen, perStored []int64, batch int) error {
 	var bound BoundOwnerFunc
 	if owner != nil {
@@ -344,23 +414,53 @@ func runAttempt(ctx context.Context, c *Cluster, owner Owner, tiles [][]Tile, si
 			return true
 		}
 		// expandTiles is the Expand stage: each A-arc of each tile expands
-		// against the whole B factor into the scratch block, and
+		// against the tile's tail factors into the scratch block, and
 		// handleBlock routes or stores it. handleBlock returns false to
 		// stop early (teardown, sink failure, or an injected crash).
+		//
+		// A single-factor tail (the k = 2 product) takes the direct
+		// ArcSlice path — byte-for-byte the pre-chain kernel, so the
+		// two-factor allocation and throughput budgets are untouched.
+		// Deeper tails are folded lazily through a core.TailCursor: the
+		// composed tail arcs are generated block-by-block in lexicographic
+		// CSR order (what a materialized tail's ArcSlice order would be),
+		// never materialized, and the inner loop stays the kernel's two
+		// adds + append.
 		expandTiles := func(handleBlock func(tile int, block []graph.Edge) bool) {
 			for _, t := range tiles[rk.ID()] {
-				bArcs := t.B.ArcSlice()
-				nB := t.B.NumVertices()
-				for _, aArc := range t.AArcs {
-					for lo := 0; lo < len(bArcs); lo += batch {
-						hi := lo + batch
-						if hi > len(bArcs) {
-							hi = len(bArcs)
+				if len(t.Tail) == 1 {
+					b := t.Tail[0]
+					bArcs := b.ArcSlice()
+					nB := b.NumVertices()
+					for _, aArc := range t.AArcs {
+						for lo := 0; lo < len(bArcs); lo += batch {
+							hi := lo + batch
+							if hi > len(bArcs) {
+								hi = len(bArcs)
+							}
+							pprof.SetGoroutineLabels(expandLabels)
+							// Chunks walk bArcs in CSR order, so the
+							// reference expansion order is preserved exactly.
+							block := core.ExpandBlock(aArc, bArcs[lo:hi], nB, scratch)
+							scratch = block[:0]
+							if !handleBlock(t.ID, block) {
+								return
+							}
 						}
+					}
+					continue
+				}
+				cur := core.NewTailCursor(t.Tail)
+				nT := cur.NumVertices()
+				for _, aArc := range t.AArcs {
+					cur.Reset()
+					uBase, vBase := aArc.U*nT, aArc.V*nT
+					for {
 						pprof.SetGoroutineLabels(expandLabels)
-						// Chunks walk bArcs in CSR order, so the
-						// reference expansion order is preserved exactly.
-						block := core.ExpandBlock(aArc, bArcs[lo:hi], nB, scratch)
+						block := cur.ExpandNext(uBase, vBase, scratch, batch)
+						if len(block) == 0 {
+							break
+						}
 						scratch = block[:0]
 						if !handleBlock(t.ID, block) {
 							return

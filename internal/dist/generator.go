@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"kronlab/internal/core"
 	"kronlab/internal/graph"
 	"kronlab/internal/store"
 )
@@ -62,32 +63,40 @@ func PartitionArcs(arcs []graph.Edge, parts int) [][]graph.Edge {
 	return out
 }
 
-// generate runs the engine with an in-memory sink — the shared body of
-// Generate1D and Generate2D.
-func generate(a, b *graph.Graph, r int, owner OwnerFunc, twoD bool) (*Result, error) {
+// generateChain runs the engine with an in-memory sink — the shared body
+// of GenerateChain, Generate1D and Generate2D.
+func generateChain(ch *core.Chain, r int, owner OwnerFunc, twoD bool) (*Result, error) {
 	// A nil owner means OwnerBySource; bind the pre-specialized form so
 	// the default routed hot loop pays a single indirect call per edge.
 	var ownr Owner = sourceHashOwner{}
 	if owner != nil {
 		ownr = owner
 	}
-	plan, err := planFor(a, b, r, twoD)
+	plan, err := planForChain(ch, r, twoD)
 	if err != nil {
 		return nil, err
+	}
+	arcs, arcsErr := ch.NumArcs()
+	if arcsErr != nil {
+		// |E_C| overflows int64: an in-memory run cannot hold the result
+		// anyway; refuse rather than generate garbage.
+		return nil, arcsErr
 	}
 	sink := NewMemorySink(r)
 	// The product arc count is exact ground truth before expansion; size
 	// each rank's buffer so append growth never runs during generation.
 	// For the default source-keyed owner the per-rank load itself is
-	// ground truth: out-degrees factor (deg_C(γ(i,k)) = deg_A(i)·deg_B(k)),
-	// so summing the degree products of each rank's owned product vertices
-	// gives exact buffer sizes in O(n_A·n_B) — with power-law factors the
-	// hash-partitioned loads are skewed enough that the ideal-share hint
-	// under-sizes hot ranks and growslice doubling dominates allocations.
-	if owner == nil && plan.NC <= 4*a.NumArcs()*b.NumArcs() {
-		sink.Hints = sourceHashLoads(a, b, r)
+	// ground truth: out-degrees factor across the whole chain
+	// (deg_C(p) = Π deg_d(digit_d(p))), so summing the degree products of
+	// each rank's owned product vertices gives exact buffer sizes in
+	// O(|V_C|) — which the gate keeps a small fraction of the O(|E_C|)
+	// expansion. With power-law factors the hash-partitioned loads are
+	// skewed enough that the ideal-share hint under-sizes hot ranks and
+	// growslice doubling dominates allocations.
+	if limit, ok := core.CheckedMul(4, arcs); owner == nil && ok && plan.NC <= limit {
+		sink.Hints = chainSourceHashLoads(ch, r)
 	} else {
-		sink.Hint = a.NumArcs()*b.NumArcs()/int64(r) + 1
+		sink.Hint = arcs/int64(r) + 1
 	}
 	st, err := Run(context.Background(), Config{Plan: plan, Owner: ownr, Sink: sink})
 	if err != nil {
@@ -96,28 +105,64 @@ func generate(a, b *graph.Graph, r int, owner OwnerFunc, twoD bool) (*Result, er
 	return &Result{NC: plan.NC, PerRank: sink.PerRank, Stats: st}, nil
 }
 
-// sourceHashLoads returns the exact number of product arcs the default
-// source-hash owner routes to each of r ranks: product vertex γ(i,k) has
-// out-degree deg_A(i)·deg_B(k), and its whole arc set lands on the rank
-// its source hashes to. O(n_A·n_B) time — proportional to |V_C|, which
-// generate gates to stay a small fraction of the O(|E_C|) expansion.
-func sourceHashLoads(a, b *graph.Graph, r int) []int64 {
+// chainSourceHashLoads returns the exact number of product arcs the
+// default source-hash owner routes to each of r ranks: product vertex p
+// has out-degree Π deg_d(digit_d(p)), and its whole arc set lands on the
+// rank its source hashes to. O(|V_C|) time via a recursive sweep of the
+// mixed-radix digit space.
+func chainSourceHashLoads(ch *core.Chain, r int) []int64 {
 	loads := make([]int64, r)
 	owner := sourceHashOwner{}.Bind(r)
-	nA, nB := a.NumVertices(), b.NumVertices()
-	for i := int64(0); i < nA; i++ {
-		dA := a.Degree(i)
-		if dA == 0 {
-			continue
+	factors := ch.Factors()
+	ci := ch.Index()
+	var rec func(d int, base, deg int64)
+	rec = func(d int, base, deg int64) {
+		g := factors[d]
+		n := g.NumVertices()
+		if d == len(factors)-1 {
+			for k := int64(0); k < n; k++ {
+				if dk := g.Degree(k); dk > 0 {
+					loads[owner(base+k, 0)] += deg * dk
+				}
+			}
+			return
 		}
-		base := i * nB
-		for k := int64(0); k < nB; k++ {
-			if dB := b.Degree(k); dB > 0 {
-				loads[owner(base+k, 0)] += dA * dB
+		stride := ci.Stride(d)
+		for k := int64(0); k < n; k++ {
+			if dk := g.Degree(k); dk > 0 {
+				rec(d+1, base+k*stride, deg*dk)
 			}
 		}
 	}
+	rec(0, 0, 1)
 	return loads
+}
+
+// generate is generateChain for a two-factor product.
+func generate(a, b *graph.Graph, r int, owner OwnerFunc, twoD bool) (*Result, error) {
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return generateChain(ch, r, owner, twoD)
+}
+
+// sourceHashLoads is chainSourceHashLoads for a two-factor product.
+func sourceHashLoads(a, b *graph.Graph, r int) []int64 {
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		panic(err) // two validated factors cannot fail
+	}
+	return chainSourceHashLoads(ch, r)
+}
+
+// GenerateChain runs the distributed generator over a factor chain
+// A₁⊗…⊗Aₖ: the head's arcs are the split dimension, each rank folds the
+// replicated tail lazily through the chain kernel, and every generated
+// edge is routed to owner(u, v, r) for storage. k = 2 is exactly
+// Generate1D/2D.
+func GenerateChain(ch *core.Chain, r int, owner OwnerFunc, twoD bool) (*Result, error) {
+	return generateChain(ch, r, owner, twoD)
 }
 
 // Generate1D runs the paper's Sec. III generator on a simulated cluster
@@ -126,7 +171,11 @@ func sourceHashLoads(a, b *graph.Graph, r int) []int64 {
 // routed to owner(u, v, r) for storage. Per-rank memory is
 // O(|E_A|/R + |E_B| + stored), time O(|E_A|·|E_B|/R).
 func Generate1D(a, b *graph.Graph, r int, owner OwnerFunc) (*Result, error) {
-	return generate(a, b, r, owner, false)
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return generateChain(ch, r, owner, false)
 }
 
 // Generate2D runs the Rem. 1 generator: both factors' arcs are
@@ -134,7 +183,11 @@ func Generate1D(a, b *graph.Graph, r int, owner OwnerFunc) (*Result, error) {
 // tile(s) A_i ⊗ B_j. Per-rank replicated storage drops from O(|E_B|) to
 // O(|E_A|/R½ + |E_B|/Q), enabling weak scaling to O(|E_C|) processors.
 func Generate2D(a, b *graph.Graph, r int, owner OwnerFunc) (*Result, error) {
-	return generate(a, b, r, owner, true)
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return generateChain(ch, r, owner, true)
 }
 
 // Grid2D is the processor grid of Rem. 1: R½ = ⌈√R⌉ columns of A-parts by
@@ -164,7 +217,17 @@ func (g Grid2D) TileOf(t int) (aPart, bPart int) { return t % g.RHalf, t / g.RHa
 // edges — the pure expansion throughput used by the generation benchmarks
 // (experiment E2). It returns the number of edges generated.
 func CountOnly(a, b *graph.Graph, r int, twoD bool) (int64, error) {
-	plan, err := planFor(a, b, r, twoD)
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return CountOnlyChain(ch, r, twoD)
+}
+
+// CountOnlyChain is CountOnly over a factor chain — the chain-depth
+// expansion throughput probe of the weak-scaling experiment (E3).
+func CountOnlyChain(ch *core.Chain, r int, twoD bool) (int64, error) {
+	plan, err := planForChain(ch, r, twoD)
 	if err != nil {
 		return 0, err
 	}
@@ -207,7 +270,19 @@ func EffectiveParallelism2D(a, b *graph.Graph, r int) int {
 // owner map is forced to shard-per-rank routing (OwnerBySource, matching
 // store.BySource) so shard i holds exactly rank i's owned edges.
 func generateToStore(a, b *graph.Graph, r int, dir string, twoD bool) (*store.Store, Stats, error) {
-	plan, err := planFor(a, b, r, twoD)
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return GenerateChainToStore(ch, r, dir, twoD)
+}
+
+// GenerateChainToStore runs the chain generator with each rank streaming
+// its owned edges to its own shard of an on-disk store — the full
+// generate-route-store pipeline at any chain depth with O(batch) memory
+// per rank regardless of |E_C|.
+func GenerateChainToStore(ch *core.Chain, r int, dir string, twoD bool) (*store.Store, Stats, error) {
+	plan, err := planForChain(ch, r, twoD)
 	if err != nil {
 		return nil, Stats{}, err
 	}

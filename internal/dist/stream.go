@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"kronlab/internal/core"
 	"kronlab/internal/graph"
 )
 
@@ -35,13 +36,24 @@ const DefaultStreamBatch = 1024
 // per-rank batch buffer across attempts and the fenced sinks suppress
 // replayed prefixes, a recovered stream delivers every edge exactly once.
 func Stream(ctx context.Context, a, b *graph.Graph, r int, twoD bool, batch int, rec Recovery, emit func([]graph.Edge) error) (Stats, error) {
+	ch, err := core.NewChain(a, b)
+	if err != nil {
+		return Stats{}, err
+	}
+	return StreamChain(ctx, ch, r, twoD, batch, rec, emit)
+}
+
+// StreamChain is Stream over a factor chain A₁⊗…⊗Aₖ — the /gen serving
+// path at any chain depth, with the same exactly-once recovery
+// semantics.
+func StreamChain(ctx context.Context, ch *core.Chain, r int, twoD bool, batch int, rec Recovery, emit func([]graph.Edge) error) (Stats, error) {
 	if r < 1 {
 		return Stats{}, fmt.Errorf("dist: stream needs ≥ 1 rank, got %d", r)
 	}
 	if batch <= 0 {
 		batch = DefaultStreamBatch
 	}
-	plan, err := planFor(a, b, r, twoD)
+	plan, err := planForChain(ch, r, twoD)
 	if err != nil {
 		return Stats{}, err
 	}

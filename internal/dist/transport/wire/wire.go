@@ -40,8 +40,12 @@ import (
 
 // Version is the transport protocol version. Peers with different
 // versions refuse each other at handshake; every frame repeats it so
-// skew introduced mid-stream is caught too.
-const Version = 1
+// skew introduced mid-stream is caught too. Version 2: plan hashes
+// cover factor chains (dist.PlanHash folds the chain dimensions and
+// per-tile tail shapes), so a v1 peer's hash of the "same" plan would
+// not match — the version bump turns that silent mismatch into a loud
+// handshake refusal.
+const Version = 2
 
 // Magic opens every frame — a cheap desynchronization tripwire: if a
 // torn or corrupt frame shifts the stream, the next header read fails

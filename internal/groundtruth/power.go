@@ -1,6 +1,8 @@
 package groundtruth
 
 import (
+	"fmt"
+
 	"kronlab/internal/analytics"
 	"kronlab/internal/core"
 )
@@ -9,23 +11,39 @@ import (
 // paper's two-factor laws by induction. The per-vertex forms take the k
 // factor coordinates from core.PowerIndex.
 
-// PowerNumVertices returns n_C = n_A^k.
-func PowerNumVertices(a *Factor, k int) int64 {
+// PowerNumVertices returns n_C = n_A^k, or an explicit error when the
+// count overflows int64 — a 10-vertex factor wraps silently at k = 19
+// otherwise, and a plan built from a wrapped count is garbage.
+func PowerNumVertices(a *Factor, k int) (int64, error) {
 	out := int64(1)
 	for i := 0; i < k; i++ {
-		out *= a.N()
+		p, ok := core.CheckedMul(out, a.N())
+		if !ok {
+			return 0, fmt.Errorf("groundtruth: n_A^k overflows int64 (n=%d, k=%d)", a.N(), k)
+		}
+		out = p
 	}
-	return out
+	return out, nil
 }
 
 // PowerNumEdges returns m_C = 2^{k−1}·m_A^k for a loop-free undirected
-// factor (induction on m_C = 2·m_A·m_B).
-func PowerNumEdges(a *Factor, k int) int64 {
-	out := a.G.NumEdges()
+// factor (induction on m_C = 2·m_A·m_B), or an explicit error when the
+// count overflows int64.
+func PowerNumEdges(a *Factor, k int) (int64, error) {
+	m := a.G.NumEdges()
+	out := m
 	for i := 1; i < k; i++ {
-		out *= 2 * a.G.NumEdges()
+		twoM, ok := core.CheckedMul(2, m)
+		if !ok {
+			return 0, fmt.Errorf("groundtruth: 2^{k−1}·m_A^k overflows int64 (m=%d, k=%d)", m, k)
+		}
+		p, ok := core.CheckedMul(out, twoM)
+		if !ok {
+			return 0, fmt.Errorf("groundtruth: 2^{k−1}·m_A^k overflows int64 (m=%d, k=%d)", m, k)
+		}
+		out = p
 	}
-	return out
+	return out, nil
 }
 
 // PowerDegreeAt returns d_p = Π_d d_{coords[d]}.

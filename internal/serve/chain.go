@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"kronlab/internal/core"
+	"kronlab/internal/dist"
+	"kronlab/internal/graph"
+	"kronlab/internal/groundtruth"
+	"kronlab/internal/store"
+)
+
+// Chain routes generalize the two-factor endpoints to factor chains
+// C = A₁⊗A₂⊗…⊗Aₖ: GET /gt/{chain}/{property} and
+// GET /gen/{chain}/edges, where {chain} is a comma-separated list of
+// registry keys (hash, ≥8-char prefix, or name). A single-key chain with
+// power=k queries the Kronecker power A^{⊗k} without registering k
+// copies. The two-factor routes stay as the k=2 spelling; both run the
+// same chain laws and the same chain engine underneath.
+
+// maxChainPower caps power=k: past this even 2-vertex factors overflow
+// int64 vertex counts, so larger k only buys a bigger error message.
+const maxChainPower = 64
+
+// resolveChainList maps the {chain} path component plus an optional
+// power=k to the ordered factor list. It writes the failure response
+// itself: 404 for unknown keys, 400 for a malformed spec.
+func (s *Server) resolveChainList(w http.ResponseWriter, r *http.Request, raw string) ([]*graph.Graph, []string, bool) {
+	keys := strings.Split(raw, ",")
+	for i := range keys {
+		keys[i] = strings.TrimSpace(keys[i])
+		if keys[i] == "" {
+			writeError(w, http.StatusBadRequest, "empty factor key in chain %q", raw)
+			return nil, nil, false
+		}
+	}
+	if rawK := r.URL.Query().Get("power"); rawK != "" {
+		k, err := strconv.Atoi(rawK)
+		if err != nil || k < 1 || k > maxChainPower {
+			writeError(w, http.StatusBadRequest, "power must be an integer in [1,%d], got %q", maxChainPower, rawK)
+			return nil, nil, false
+		}
+		if len(keys) != 1 {
+			writeError(w, http.StatusBadRequest, "power=%d needs a single-factor chain, got %d keys", k, len(keys))
+			return nil, nil, false
+		}
+		rep := make([]string, k)
+		for i := range rep {
+			rep[i] = keys[0]
+		}
+		keys = rep
+	}
+	gs := make([]*graph.Graph, len(keys))
+	hashes := make([]string, len(keys))
+	for i, key := range keys {
+		g, h, ok := s.resolveFactor(w, key)
+		if !ok {
+			return nil, nil, false
+		}
+		gs[i], hashes[i] = g, h
+	}
+	return gs, hashes, true
+}
+
+// chainGTRequest carries the resolved inputs of one chain ground-truth
+// query: the per-position factor summaries (shared pointers for repeated
+// factors) plus the mixed-radix product indexing.
+type chainGTRequest struct {
+	sums   []*groundtruth.Summary
+	hashes []string
+	loops  bool
+	ci     core.ChainIndex
+	ciErr  error // vertex-count overflow; vertex-addressed props refuse
+}
+
+// factors returns the per-position groundtruth factors.
+func (req *chainGTRequest) factors() []*groundtruth.Factor {
+	fs := make([]*groundtruth.Factor, len(req.sums))
+	for i, s := range req.sums {
+		fs[i] = s.F
+	}
+	return fs
+}
+
+// base stamps the chain identification onto a response body.
+func (req *chainGTRequest) base(extra map[string]any) map[string]any {
+	extra["chain"] = req.hashes
+	extra["k"] = len(req.hashes)
+	extra["loops"] = req.loops
+	return extra
+}
+
+// vertexParam parses and range-checks a product vertex id parameter,
+// refusing when the product vertex count itself overflows int64.
+func (req *chainGTRequest) vertexParam(r *http.Request, name string) (int64, bool, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, false, nil
+	}
+	if req.ciErr != nil {
+		return 0, false, fmt.Errorf("cannot address product vertices: %v", req.ciErr)
+	}
+	p, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad %s=%q: %v", name, raw, err)
+	}
+	if p < 0 || p >= req.ci.NumVertices() {
+		return 0, false, fmt.Errorf("%s=%d out of range [0,%d)", name, p, req.ci.NumVertices())
+	}
+	return p, true, nil
+}
+
+// handleChainGroundTruth serves GET /gt/{chain}/{property}. The
+// supported properties are the ones whose laws compose across arbitrary
+// chains: summary, degree, triangles, diameter, eccentricity, hops.
+// loops=1 queries the full-self-loop product ⊗(A_d+I).
+func (s *Server) handleChainGroundTruth(w http.ResponseWriter, r *http.Request) {
+	gs, hashes, ok := s.resolveChainList(w, r, r.PathValue("chain"))
+	if !ok {
+		return
+	}
+	loops := r.URL.Query().Get("loops") == "1"
+	prop := r.PathValue("property")
+
+	distProp := prop == "diameter" || prop == "eccentricity" || prop == "hops"
+	loopVariant := loops && distProp
+	if distProp && !loops {
+		for i, g := range gs {
+			if g.NumSelfLoops() != g.NumVertices() {
+				writeError(w, http.StatusBadRequest,
+					"distance ground truth requires full-self-loop factors (factor %d is not); pass loops=1 to query ⊗(A_d+I)", i)
+				return
+			}
+		}
+	}
+	if loops && !distProp {
+		for i, g := range gs {
+			if g.NumSelfLoops() != 0 {
+				writeError(w, http.StatusBadRequest,
+					"loops=1 ground truth requires loop-free registered factors (factor %d has loops; the construction adds them)", i)
+				return
+			}
+		}
+	}
+
+	sums := make([]*groundtruth.Summary, len(gs))
+	for i := range gs {
+		sum, err := s.cache.Get(r.Context(), SummaryKey{Hash: hashes[i], Loops: loopVariant, Distances: distProp},
+			func() (*groundtruth.Summary, error) {
+				return groundtruth.NewSummary(gs[i], hashes[i], loopVariant, distProp), nil
+			})
+		if err != nil {
+			writeError(w, statusForContextErr(err), "resolving factor summaries: %v", err)
+			return
+		}
+		sums[i] = sum
+	}
+	dims := make([]int64, len(sums))
+	for i, sum := range sums {
+		dims[i] = sum.F.N()
+	}
+	req := &chainGTRequest{sums: sums, hashes: hashes, loops: loops}
+	req.ci, req.ciErr = core.NewChainIndex(dims)
+
+	switch prop {
+	case "summary":
+		s.chainGTSummary(w, r, req, gs)
+	case "degree":
+		s.chainGTDegree(w, r, req)
+	case "triangles":
+		s.chainGTTriangles(w, r, req)
+	case "diameter":
+		writeJSON(w, http.StatusOK, req.base(map[string]any{
+			"diameter": hopValue(groundtruth.ChainDiameter(req.factors())),
+		}))
+	case "eccentricity":
+		s.chainGTEccentricity(w, r, req)
+	case "hops":
+		s.chainGTHops(w, r, req)
+	default:
+		writeError(w, http.StatusNotFound,
+			"unknown chain property %q (have summary, degree, triangles, diameter, eccentricity, hops)", prop)
+	}
+}
+
+func (s *Server) chainGTSummary(w http.ResponseWriter, r *http.Request, req *chainGTRequest, gs []*graph.Graph) {
+	fs := make([]*groundtruth.Factor, len(gs))
+	for i, g := range gs {
+		if req.loops {
+			g = g.WithFullSelfLoops()
+		}
+		fs[i] = groundtruth.NewFactor(g)
+	}
+	n, err := groundtruth.ChainNumVertices(fs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	arcs, err := groundtruth.ChainNumArcs(fs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	edges, err := groundtruth.ChainNumEdges(fs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, req.base(map[string]any{
+		"n": n, "arcs": arcs, "edges": edges,
+	}))
+}
+
+func (s *Server) chainGTDegree(w http.ResponseWriter, r *http.Request, req *chainGTRequest) {
+	p, ok, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusBadRequest, "degree needs p=<product vertex>")
+		return
+	}
+	coords := req.ci.Split(p)
+	d := int64(1)
+	for i, sum := range req.sums {
+		if req.loops {
+			d *= sum.F.Deg[coords[i]] + 1 // d_p of ⊗(A_d+I)
+		} else {
+			d *= sum.F.Deg[coords[i]] // d_C = ⊗ d_{A_d}
+		}
+	}
+	writeJSON(w, http.StatusOK, req.base(map[string]any{"p": p, "coords": coords, "degree": d}))
+}
+
+func (s *Server) chainGTTriangles(w http.ResponseWriter, r *http.Request, req *chainGTRequest) {
+	if req.loops {
+		writeError(w, http.StatusBadRequest, "chain triangle ground truth covers the loop-free product; drop loops=1")
+		return
+	}
+	for i, sum := range req.sums {
+		if sum.F.G.NumSelfLoops() != 0 {
+			writeError(w, http.StatusBadRequest, "triangle ground truth requires loop-free factors (factor %d has loops)", i)
+			return
+		}
+	}
+	p, hasP, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if hasP {
+		tri := groundtruth.ChainVertexTrianglesAt(req.factors(), req.ci.Split(p)) // t_C = 2^{k−1}·Π t_d
+		writeJSON(w, http.StatusOK, req.base(map[string]any{"p": p, "vertex_triangles": tri}))
+		return
+	}
+	tau, err := groundtruth.ChainGlobalTriangles(req.factors()) // τ_C = 6^{k−1}·Π τ_d
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, req.base(map[string]any{"global_triangles": tau}))
+}
+
+func (s *Server) chainGTEccentricity(w http.ResponseWriter, r *http.Request, req *chainGTRequest) {
+	if r.URL.Query().Get("hist") == "1" {
+		hist := groundtruth.ChainEccentricityHistogram(req.factors())
+		out := make(map[string]int64, len(hist))
+		for e, c := range hist {
+			out[strconv.FormatInt(e, 10)] = c
+		}
+		writeJSON(w, http.StatusOK, req.base(map[string]any{"histogram": out}))
+		return
+	}
+	p, ok, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusBadRequest, "eccentricity needs p=<product vertex> or hist=1")
+		return
+	}
+	writeJSON(w, http.StatusOK, req.base(map[string]any{
+		"p": p, "eccentricity": hopValue(groundtruth.ChainEccentricityAt(req.factors(), req.ci.Split(p))),
+	}))
+}
+
+func (s *Server) chainGTHops(w http.ResponseWriter, r *http.Request, req *chainGTRequest) {
+	p, hasP, err := req.vertexParam(r, "p")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, hasQ, err := req.vertexParam(r, "q")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !hasP || !hasQ {
+		writeError(w, http.StatusBadRequest, "hops needs p=<vertex>&q=<vertex>")
+		return
+	}
+	writeJSON(w, http.StatusOK, req.base(map[string]any{
+		"p": p, "q": q,
+		"hops": hopValue(groundtruth.ChainHopsAt(req.factors(), req.ci.Split(p), req.ci.Split(q))),
+	}))
+}
+
+// handleChainGenerate serves GET /gen/{chain}/edges: the chain product's
+// arcs streamed by the dist chain engine without ever materializing the
+// product (or any pairwise intermediate) server-side. Query parameters
+// match /gen/{a}/{b}/edges, plus power=k for single-key chains.
+func (s *Server) handleChainGenerate(w http.ResponseWriter, r *http.Request) {
+	gs, hashes, ok := s.resolveChainList(w, r, r.PathValue("chain"))
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("loops") == "1" {
+		for i, g := range gs {
+			gs[i] = g.WithFullSelfLoops()
+		}
+	}
+
+	twoD := false
+	switch q.Get("layout") {
+	case "", "1d":
+	case "2d":
+		twoD = true
+	default:
+		writeError(w, http.StatusBadRequest, "layout must be 1d or 2d")
+		return
+	}
+
+	ranks := s.cfg.MaxInflight
+	if raw := q.Get("ranks"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad ranks=%q", raw)
+			return
+		}
+		ranks = v
+	}
+	if ranks > s.cfg.MaxRanks {
+		ranks = s.cfg.MaxRanks
+	}
+
+	var limit int64 = -1
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit=%q", raw)
+			return
+		}
+		limit = v
+	}
+
+	binaryFmt := false
+	switch q.Get("format") {
+	case "", "ndjson":
+	case "binary":
+		binaryFmt = true
+	default:
+		writeError(w, http.StatusBadRequest, "format must be ndjson or binary")
+		return
+	}
+
+	ch, err := core.NewChain(gs...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	totalArcs, err := ch.NumArcs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if binaryFmt {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Kronlab-Product-N", strconv.FormatInt(ch.NumVertices(), 10))
+	w.Header().Set("X-Kronlab-Product-Arcs", strconv.FormatInt(totalArcs, 10))
+	w.Header().Set("X-Kronlab-Factors", strings.Join(hashes, ","))
+	w.Header().Set("Trailer", "X-Kronlab-Complete, X-Kronlab-Arcs-Written")
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	flusher, _ := w.(http.Flusher)
+	var written int64
+	var rec [store.RecordSize]byte
+	emit := func(batch []graph.Edge) error {
+		for _, e := range batch {
+			if limit >= 0 && written >= limit {
+				return errStreamLimit
+			}
+			var err error
+			if binaryFmt {
+				store.PutRecord(rec[:], e.U, e.V)
+				_, err = bw.Write(rec[:])
+			} else {
+				_, err = fmt.Fprintf(bw, "{\"u\":%d,\"v\":%d}\n", e.U, e.V)
+			}
+			if err != nil {
+				return err
+			}
+			written++
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	recov := dist.Recovery{MaxRetries: s.cfg.GenRetries, Backoff: 5 * time.Millisecond, Reassign: true}
+	stats, err := dist.StreamChain(r.Context(), ch, ranks, twoD, 0, recov, emit)
+	s.metrics.AddGenStats(stats)
+	complete := err == nil || errors.Is(err, errStreamLimit)
+	if complete {
+		_ = bw.Flush()
+	}
+	w.Header().Set("X-Kronlab-Complete", strconv.FormatBool(complete))
+	w.Header().Set("X-Kronlab-Arcs-Written", strconv.FormatInt(written, 10))
+}

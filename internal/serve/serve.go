@@ -16,6 +16,10 @@
 //   - a generation endpoint streaming product edges as NDJSON or the
 //     binary record format of internal/store, produced by the dist
 //     1D/2D generator with bounded concurrency (GET /gen/{a}/{b}/edges);
+//   - chain variants of both: GET /gt/{chain}/{property} and
+//     GET /gen/{chain}/edges take a comma-separated factor key list
+//     (optionally power=k) and serve the k-factor product A₁⊗…⊗Aₖ
+//     through the same closed-form laws and the same streaming engine;
 //   - an operational surface: semaphore admission control with bounded
 //     queueing and 429s, request timeouts threaded through context, and
 //     /healthz + /metrics.
@@ -133,6 +137,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /factors/{hash}", s.instrument("factors", s.handleGetFactor))
 	s.mux.HandleFunc("GET /gt/{a}/{b}/{property}", s.instrument("gt", s.admitted(s.timed(s.handleGroundTruth))))
 	s.mux.HandleFunc("GET /gen/{a}/{b}/edges", s.instrument("gen", s.admitted(s.genTimed(s.handleGenerate))))
+	// Chain routes: {chain} is a comma-separated factor key list (with
+	// optional power=k), so these two-segment patterns coexist with the
+	// three-segment two-factor routes above.
+	s.mux.HandleFunc("GET /gt/{chain}/{property}", s.instrument("gt", s.admitted(s.timed(s.handleChainGroundTruth))))
+	s.mux.HandleFunc("GET /gen/{chain}/edges", s.instrument("gen", s.admitted(s.genTimed(s.handleChainGenerate))))
 	return s
 }
 

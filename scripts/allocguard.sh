@@ -1,14 +1,16 @@
 #!/bin/sh
-# Allocation regression guard for the end-to-end generation benchmark
-# and the TCP transport exchange benchmark.
+# Allocation regression guard for the end-to-end generation benchmarks
+# (two-factor and chain) and the TCP transport exchange benchmark.
 #
-# Runs BenchmarkE2Generate1D and BenchmarkTCPExchangeThroughput with
-# -benchmem and compares allocs/op per sub-benchmark against the newest
-# committed BENCH_*.json snapshot. Fails when any sub-benchmark allocates
-# more than ALLOW× the snapshot figure (default 1.2 — a 20% regression
-# budget; allocs/op is deterministic enough that this never flakes while
-# still catching a reintroduced per-batch allocation, in the engine or
-# on the wire path).
+# Runs BenchmarkE2Generate1D, BenchmarkE2GenerateChain and
+# BenchmarkTCPExchangeThroughput with -benchmem and compares allocs/op
+# per sub-benchmark against the newest committed BENCH_*.json snapshot
+# (chain rows come from the newest BENCH_*_chain.json, which may be an
+# older file than the overall newest snapshot). Fails when any
+# sub-benchmark allocates more than ALLOW× the snapshot figure (default
+# 1.2 — a 20% regression budget; allocs/op is deterministic enough that
+# this never flakes while still catching a reintroduced per-batch
+# allocation, in the engine, the tail fold, or on the wire path).
 #
 # Usage:
 #   scripts/allocguard.sh                 # guard against newest BENCH_*.json
@@ -19,21 +21,29 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SNAPSHOT="${SNAPSHOT:-$(ls -1 BENCH_*.json 2>/dev/null | tail -1)}"
+CHAIN_SNAPSHOT="${CHAIN_SNAPSHOT:-$(ls -1 BENCH_*_chain.json 2>/dev/null | tail -1)}"
 ALLOW="${ALLOW:-1.2}"
 if [ -z "$SNAPSHOT" ] || [ ! -f "$SNAPSHOT" ]; then
     echo "allocguard: no BENCH_*.json snapshot found" >&2
     exit 2
 fi
 
-echo "allocguard: baseline $SNAPSHOT, budget ${ALLOW}x" >&2
+echo "allocguard: baseline $SNAPSHOT${CHAIN_SNAPSHOT:+ + $CHAIN_SNAPSHOT}, budget ${ALLOW}x" >&2
 
-# Reassemble the JSON event stream into plain bench output first: a
-# benchmark's name and its numbers usually arrive as separate events.
-baseline() {
-    grep -o '"Output":"[^"]*' "$SNAPSHOT" | sed 's/"Output":"//' | tr -d '\n' |
+# Reassemble a JSON event stream into plain bench output: a benchmark's
+# name and its numbers usually arrive as separate events.
+extract() {
+    grep -o '"Output":"[^"]*' "$1" | sed 's/"Output":"//' | tr -d '\n' |
         sed 's/\\n/\n/g; s/\\t/\t/g' |
-        grep 'allocs/op' |
+        grep 'allocs/op' || true
+}
+
+baseline() {
+    extract "$SNAPSHOT" |
         grep -e '^BenchmarkE2Generate1D' -e '^BenchmarkTCPExchangeThroughput' || true
+    if [ -n "$CHAIN_SNAPSHOT" ] && [ -f "$CHAIN_SNAPSHOT" ]; then
+        extract "$CHAIN_SNAPSHOT" | grep '^BenchmarkE2GenerateChain' || true
+    fi
 }
 
 CUR=$(mktemp) && BASE=$(mktemp)
@@ -45,10 +55,10 @@ if ! grep -q '^BenchmarkE2Generate1D' "$BASE"; then
 fi
 
 # benchtime 10x keeps the guard fast; allocs/op does not depend on the
-# iteration count once pools are warm. The TCP guard only bites when the
-# snapshot contains transport rows (older snapshots have no comparable
-# rows; the join below skips them).
-go test -run '^$' -bench 'BenchmarkE2Generate1D' -benchmem -benchtime 10x . >"$CUR"
+# iteration count once pools are warm. The TCP and chain guards only
+# bite when a snapshot contains comparable rows (older snapshots have
+# none; the join below skips them).
+go test -run '^$' -bench 'BenchmarkE2Generate1D|BenchmarkE2GenerateChain' -benchmem -benchtime 10x . >"$CUR"
 go test -run '^$' -bench 'BenchmarkTCPExchangeThroughput' -benchmem -benchtime 10x ./internal/dist/ >>"$CUR"
 
 awk -v allow="$ALLOW" '

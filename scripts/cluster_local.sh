@@ -2,6 +2,8 @@
 # Cluster-mode smoke test: generate the same Kronecker product twice —
 # once as a real 4-process TCP cluster on localhost, once in a single
 # process — and fail unless the two stores hold the identical edge set.
+# A second phase repeats the check for a k=3 power chain (A^{⊗3}) so the
+# chain plan wire format and lazy tail fold get the same treatment.
 #
 # Usage:
 #   scripts/cluster_local.sh             # 4 procs, 6 ranks, 1d, bundled factors
@@ -83,3 +85,43 @@ if ! diff -u "$WORK/single.txt" "$WORK/cluster.txt" >&2; then
 fi
 EDGES=$(wc -l <"$WORK/cluster.txt" | tr -d ' ')
 echo "cluster_local: OK — $EDGES edges identical across both stores" >&2
+
+# Phase 2: a k=3 factor chain (A^{⊗3} via -power) across the same
+# 4-process TCP cluster, against a single-process serial reference. This
+# exercises the chain plan/tile wire format and the lazy tail fold end
+# to end — the k>2 path shares no shortcuts with the two-factor phase.
+CHAIN_PORT=$((BASE_PORT + PROCS))
+CPEERS=""
+i=0
+while [ "$i" -lt "$PROCS" ]; do
+    CPEERS="$CPEERS${CPEERS:+,}127.0.0.1:$((CHAIN_PORT + i))"
+    i=$((i + 1))
+done
+
+echo "cluster_local: phase 2 — k=3 power chain, $PROCS procs, peers $CPEERS" >&2
+i=1
+while [ "$i" -lt "$PROCS" ]; do
+    "$WORK/krongen" -a "$A" -power 3 -mode "$MODE" -ranks "$RANKS" \
+        -store "$WORK/st-chain-cluster" -cluster-peers "$CPEERS" -cluster-self "$i" &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+done
+"$WORK/krongen" -a "$A" -power 3 -mode "$MODE" -ranks "$RANKS" \
+    -store "$WORK/st-chain-cluster" -cluster-peers "$CPEERS" -cluster-self 0 -stats
+
+for pid in $PIDS; do
+    wait "$pid" || { echo "cluster_local: chain worker pid $pid failed" >&2; exit 1; }
+done
+PIDS=""
+
+echo "cluster_local: k=3 single-process serial reference" >&2
+"$WORK/krongen" -a "$A" -power 3 -mode serial -store "$WORK/st-chain-single"
+
+"$WORK/krongen" -dump-store "$WORK/st-chain-cluster" | sort >"$WORK/chain-cluster.txt"
+"$WORK/krongen" -dump-store "$WORK/st-chain-single" | sort >"$WORK/chain-single.txt"
+if ! diff -u "$WORK/chain-single.txt" "$WORK/chain-cluster.txt" >&2; then
+    echo "cluster_local: FAIL — k=3 chain cluster store differs from serial store" >&2
+    exit 1
+fi
+CEDGES=$(wc -l <"$WORK/chain-cluster.txt" | tr -d ' ')
+echo "cluster_local: OK — $CEDGES k=3 chain edges identical across both stores" >&2
