@@ -15,11 +15,21 @@
 //
 //	flags: [-out C.txt] [-mode serial|1d|2d] [-ranks R] [-self-loops]
 //	       [-binary] [-stats] [-store DIR [-shards S]]
+//	       [-offset N] [-limit M]
 //	       [-cluster-peers H:P,H:P,... -cluster-self N [-retries K]]
 //
 // Before generating, krongen prints the closed-form expected |V| and |E|
 // of the product to stderr, and refuses to start when either count
 // overflows int64 — a plan built from a wrapped count is garbage.
+//
+// With -offset/-limit krongen generates a contiguous window of the
+// product's deterministic arc stream — shard k of S is
+// -offset k·(arcs/S) -limit arcs/S — without ever generating the skipped
+// prefix (the start position is located arithmetically). Windowed output
+// is headerless "u v" arc lines (or a windowed store with -store); the
+// whole-graph -binary format is refused. Under -mode 1d the window of
+// the stream equals the serial enumeration's window for any -ranks; 2d
+// windows are deterministic per (layout, ranks).
 //
 // With -store the product streams to a sharded on-disk store instead of
 // an edge-list file: serially (shard count -shards), or under -mode 1d/2d
@@ -39,6 +49,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -72,16 +83,38 @@ func main() {
 	stats := flag.Bool("stats", false, "print generation statistics to stderr")
 	storeDir := flag.String("store", "", "stream C to a sharded on-disk store at this directory instead of an edge-list file")
 	shards := flag.Int("shards", 8, "shard count for -store in serial mode (1d/2d modes use one shard per rank)")
+	offset := flag.Int64("offset", 0, "start the arc stream this many arcs into the product (the skipped prefix is never generated)")
+	limit := flag.Int64("limit", -1, "stop after this many arcs from -offset (-1 = through the end)")
 	clusterPeers := flag.String("cluster-peers", "", "comma-separated host:port list of every cluster process, in process order (requires -store and -mode 1d|2d)")
 	clusterSelf := flag.Int("cluster-self", 0, "this process's index into -cluster-peers")
 	retries := flag.Int("retries", 3, "cluster mode: attempts to retry after a recoverable peer failure")
 	dumpStore := flag.String("dump-store", "", "load an existing store at this directory and write it as an edge list (to -out or stdout); no generation")
+	dumpArcs := flag.Bool("dump-arcs", false, "with -dump-store: write every stored arc as a headerless \"u v\" line instead of the canonical undirected edge list (windowed stores are not arc-symmetric)")
 	flag.Parse()
 
 	if *dumpStore != "" {
 		st, err := store.Open(*dumpStore)
 		if err != nil {
 			log.Fatalf("opening store: %v", err)
+		}
+		if *dumpArcs {
+			out := openOut(*outPath)
+			bw := bufio.NewWriterSize(out, 1<<16)
+			var werr error
+			err := st.Iter(func(u, v int64) bool {
+				_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+				return werr == nil
+			})
+			if err == nil {
+				err = werr
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				log.Fatalf("dumping arcs: %v", err)
+			}
+			return
 		}
 		g, err := st.LoadGraph()
 		if err != nil {
@@ -129,6 +162,16 @@ func main() {
 	}
 	if *clusterPeers != "" && (*storeDir == "" || *mode == "serial") {
 		log.Fatal("-cluster-peers requires -store and -mode 1d or 2d")
+	}
+	if *offset < 0 {
+		log.Fatalf("-offset must be ≥ 0, got %d", *offset)
+	}
+	if *limit < -1 {
+		log.Fatalf("-limit must be ≥ 0 (or -1 for no limit), got %d", *limit)
+	}
+	windowed := *offset != 0 || *limit >= 0
+	if windowed && *binary {
+		log.Fatal("-offset/-limit write headerless arc windows; the whole-graph -binary format cannot carry one")
 	}
 
 	// --- Build the factor chain; every generation path below consumes it. ---
@@ -183,9 +226,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "expecting |V| = %d, |E| = %d (%d arcs) from %d factor(s)\n",
 		ch.NumVertices(), edges, arcs, ch.K())
+	if *offset > arcs {
+		log.Fatalf("-offset %d is beyond the product's %d arcs", *offset, arcs)
+	}
 
 	if *clusterPeers != "" {
-		runCluster(ch, *mode == "2d", *storeDir, *clusterPeers, *clusterSelf, *ranks, *retries, *stats)
+		runCluster(ch, *mode == "2d", *storeDir, *clusterPeers, *clusterSelf, *ranks, *retries, *stats, *offset, *limit)
 		return
 	}
 
@@ -193,7 +239,7 @@ func main() {
 		// Distributed generate-route-store: each rank streams its owned
 		// edges to its own shard, O(batch) memory per rank.
 		start := time.Now()
-		st, genStats, err := dist.GenerateChainToStore(ch, *ranks, *storeDir, *mode == "2d")
+		st, genStats, err := dist.GenerateChainToStoreFrom(ch, *ranks, *storeDir, *mode == "2d", *offset, *limit)
 		if err != nil {
 			log.Fatalf("generating to store: %v", err)
 		}
@@ -209,7 +255,8 @@ func main() {
 
 	if *storeDir != "" {
 		// Streaming path: never materialize C. The expansion is the serial
-		// chain enumeration; edges go straight to the sharded store.
+		// chain enumeration (seeked to -offset when windowed); edges go
+		// straight to the sharded store.
 		start := time.Now()
 		w, err := store.NewWriter(*storeDir, ch.NumVertices(), *shards, nil)
 		if err != nil {
@@ -217,7 +264,10 @@ func main() {
 		}
 		var count int64
 		var werr error
-		ch.Arcs(func(u, v int64) bool {
+		_, aerr := ch.ArcsFrom(*offset, func(u, v int64) bool {
+			if *limit >= 0 && count >= *limit {
+				return false
+			}
 			if err := w.Append(u, v); err != nil {
 				werr = err
 				return false
@@ -225,6 +275,9 @@ func main() {
 			count++
 			return true
 		})
+		if werr == nil {
+			werr = aerr
+		}
 		if werr != nil {
 			log.Fatal(werr)
 		}
@@ -235,6 +288,66 @@ func main() {
 			elapsed := time.Since(start)
 			fmt.Fprintf(os.Stderr, "streamed %d arcs to %s (%d shards) in %v (%.0f edges/s)\n",
 				count, *storeDir, *shards, elapsed, float64(count)/elapsed.Seconds())
+		}
+		return
+	}
+
+	if windowed {
+		// A window of the arc stream is not a whole graph: write headerless
+		// "u v" lines. Serial seeks the chain cursor directly; 1d/2d run
+		// the engine's seeked stream (1d reproduces the serial order for
+		// any -ranks).
+		out := openOut(*outPath)
+		bw := bufio.NewWriter(out)
+		start := time.Now()
+		var count int64
+		switch *mode {
+		case "serial":
+			var werr error
+			_, aerr := ch.ArcsFrom(*offset, func(u, v int64) bool {
+				if *limit >= 0 && count >= *limit {
+					return false
+				}
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					werr = err
+					return false
+				}
+				count++
+				return true
+			})
+			if werr == nil {
+				werr = aerr
+			}
+			if werr != nil {
+				log.Fatalf("writing window: %v", werr)
+			}
+		default: // 1d, 2d
+			_, err := dist.StreamChainFrom(context.Background(), ch, *ranks, *mode == "2d", 0, *offset, *limit, dist.Recovery{},
+				func(batch []graph.Edge) error {
+					for _, e := range batch {
+						if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+							return err
+						}
+					}
+					count += int64(len(batch))
+					return nil
+				})
+			if err != nil {
+				log.Fatalf("streaming window: %v", err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			log.Fatalf("writing window: %v", err)
+		}
+		if out != os.Stdout {
+			if err := out.Close(); err != nil {
+				log.Fatalf("closing output: %v", err)
+			}
+		}
+		if *stats {
+			elapsed := time.Since(start)
+			fmt.Fprintf(os.Stderr, "wrote %d arcs from offset %d in %v (%.0f edges/s)\n",
+				count, *offset, elapsed, float64(count)/elapsed.Seconds())
 		}
 		return
 	}
@@ -305,7 +418,7 @@ func openOut(path string) *os.File {
 // the shared factor files, and the plan-hash handshake refuses any peer
 // whose plan disagrees. Process 0 finalizes the store and prints the
 // -stats summary; workers exit silently on success.
-func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retries int, stats bool) {
+func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retries int, stats bool, offset, limit int64) {
 	addrs := strings.Split(peers, ",")
 	for i, s := range addrs {
 		addrs[i] = strings.TrimSpace(s)
@@ -324,6 +437,16 @@ func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retri
 	if err != nil {
 		log.Fatalf("planning: %v", err)
 	}
+	// The handshake hash must cover the -offset/-limit window: every
+	// process must be dumping the same slice, or the shards are garbage.
+	// The unwindowed case must NOT slice — the generation path keeps the
+	// original plan then (explicit Take values would change the hash).
+	if offset != 0 || limit >= 0 {
+		plan, err = plan.Slice(offset, limit)
+		if err != nil {
+			log.Fatalf("slicing plan: %v", err)
+		}
+	}
 	node, err := tcp.NewNode(addrs[self], self, dist.PlanHash(plan))
 	if err != nil {
 		log.Fatalf("listening on %s: %v", addrs[self], err)
@@ -334,7 +457,7 @@ func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retri
 	defer cancel()
 
 	start := time.Now()
-	st, genStats, err := dist.GenerateChainClusterToStore(ctx, ch, dir, twoD,
+	st, genStats, err := dist.GenerateChainClusterToStoreFrom(ctx, ch, dir, twoD, offset, limit,
 		dist.ClusterConfig{
 			Procs: transport.SplitRanks(addrs, ranks),
 			Self:  self,

@@ -269,6 +269,43 @@ func (c *Chain) Arcs(yield func(u, v int64) bool) {
 	rec(0, 0, 0)
 }
 
+// ArcsFrom enumerates the chain's arcs in canonical order starting at
+// global arc index offset, without generating the skipped prefix: the
+// canonical order is the mixed-radix odometer order over the factors'
+// arc lists, so the starting position is located in O(k) (TailCursor.
+// SeekTo) and enumeration proceeds from there. ArcsFrom(0, yield) is
+// Arcs(yield). It returns the total arc count, erring when that count
+// overflows int64 or offset is outside [0, total].
+func (c *Chain) ArcsFrom(offset int64, yield func(u, v int64) bool) (int64, error) {
+	total, err := c.NumArcs()
+	if err != nil {
+		return 0, err
+	}
+	if offset < 0 || offset > total {
+		return total, fmt.Errorf("core: arc offset %d out of range [0,%d]", offset, total)
+	}
+	if offset == total {
+		return total, nil
+	}
+	// A cursor over all k factors enumerates exactly Arcs' order: factor 1
+	// outermost, factor k's CSR runs innermost, with the full-chain vertex
+	// strides.
+	cur := NewTailCursor(c.factors)
+	cur.SeekTo(offset)
+	block := make([]graph.Edge, 0, 1024)
+	for {
+		block = cur.ExpandNext(0, 0, block[:0], cap(block))
+		if len(block) == 0 {
+			return total, nil
+		}
+		for _, e := range block {
+			if !yield(e.U, e.V) {
+				return total, nil
+			}
+		}
+	}
+}
+
 // Materialize builds the chain product as a Graph, folding left exactly
 // like KronPower — the serial reference the distributed chain paths are
 // compared against. It is meant for small chains (tests, closed-form
@@ -350,6 +387,35 @@ func (tc *TailCursor) Reset() {
 	}
 	tc.innerPos = 0
 	tc.done = tc.total == 0
+	tc.recomputePrefix()
+}
+
+// Seek positions the cursor at composed arc index pos in [0, Total()],
+// without enumerating the skipped prefix: the composed order is mixed
+// radix (outer odometer digits most significant, the innermost factor's
+// arc index least), so locating pos is a constant number of divisions
+// per factor — O(k), independent of pos. Seek(0) is Reset; Seek(Total())
+// exhausts the cursor. This is the primitive behind resumable streams:
+// a rank can start generating mid-tile at exactly the edge a cut stream
+// stopped at.
+func (tc *TailCursor) SeekTo(pos int64) {
+	if pos < 0 || pos > tc.total {
+		panic(fmt.Sprintf("core: TailCursor.SeekTo(%d) out of range [0,%d]", pos, tc.total))
+	}
+	if pos == tc.total {
+		tc.done = true
+		tc.uPre, tc.vPre = 0, 0
+		return
+	}
+	tc.done = false
+	inner := int64(len(tc.arcs[len(tc.arcs)-1]))
+	tc.innerPos = int(pos % inner)
+	rest := pos / inner
+	for d := len(tc.idx) - 1; d >= 0; d-- {
+		n := int64(len(tc.arcs[d]))
+		tc.idx[d] = int(rest % n)
+		rest /= n
+	}
 	tc.recomputePrefix()
 }
 

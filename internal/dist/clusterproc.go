@@ -99,6 +99,11 @@ func PlanHash(p Plan) uint64 {
 		w(int64(len(tiles)))
 		for _, t := range tiles {
 			w(int64(t.ID))
+			// The stream window is part of the tile's identity: two procs
+			// slicing the same plan at different offsets must refuse each
+			// other (their checkpoint accounting would disagree).
+			w(t.Skip)
+			w(t.Take)
 			w(int64(len(t.AArcs)))
 			for _, e := range t.AArcs {
 				w(e.U)
@@ -248,6 +253,7 @@ func (ps *procState) sinkFor(rk *Rank) (attemptSink, error) {
 		}
 		f.under = rs
 		f.bs, _ = rs.(BlockStorer)
+		f.tbs, _ = rs.(TileBlockStorer)
 	}
 	return f, nil
 }
@@ -705,8 +711,18 @@ func GenerateClusterToStore(ctx context.Context, a, b *graph.Graph, dir string, 
 // plan hash covers the chain's dimensions, so mixed-depth clusters
 // refuse to form.
 func GenerateChainClusterToStore(ctx context.Context, ch *core.Chain, dir string, twoD bool, cc ClusterConfig, rec Recovery) (*store.Store, Stats, error) {
+	return GenerateChainClusterToStoreFrom(ctx, ch, dir, twoD, 0, -1, cc, rec)
+}
+
+// GenerateChainClusterToStoreFrom is GenerateChainClusterToStore over a
+// contiguous window of the stream (see GenerateChainToStoreFrom). Every
+// process must pass the same offset and limit: the window is folded into
+// the tiles before planning, so PlanHash covers it and a cluster whose
+// processes sliced at different positions refuses to form instead of
+// silently mixing windows.
+func GenerateChainClusterToStoreFrom(ctx context.Context, ch *core.Chain, dir string, twoD bool, offset, limit int64, cc ClusterConfig, rec Recovery) (*store.Store, Stats, error) {
 	r := cc.Procs[len(cc.Procs)-1].Hi
-	plan, err := planForChain(ch, r, twoD)
+	plan, err := sliceForChain(ch, r, twoD, offset, limit)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -34,16 +34,36 @@ type Tile struct {
 	ID    int
 	AArcs []graph.Edge
 	Tail  []*graph.Graph // replicated tail factors A₂⊗…⊗Aₖ (len ≥ 1)
+
+	// Skip and Take window the tile's deterministic expansion stream:
+	// the kernel starts Skip arcs into the tile (locating the position in
+	// O(1), never generating the skipped prefix) and stops after Take
+	// arcs (0 = no cap). Plan.Slice sets them to serve a contiguous
+	// range of the global stream; whole-stream plans leave them zero.
+	Skip, Take int64
 }
 
-// Arcs returns the number of product arcs the tile expands to —
-// deterministic ground truth (|A_i|·Π|E_{T_d}|), so a checkpoint can
-// tell a fully-delivered tile from a partial one without trusting the
-// run that died.
-func (t Tile) Arcs() int64 {
+// FullArcs returns the number of product arcs the unwindowed tile
+// expands to — deterministic ground truth (|A_i|·Π|E_{T_d}|).
+func (t Tile) FullArcs() int64 {
 	n := int64(len(t.AArcs))
 	for _, g := range t.Tail {
 		n *= g.NumArcs()
+	}
+	return n
+}
+
+// Arcs returns the number of product arcs the tile generates — FullArcs
+// less the Skip prefix, capped by Take. Checkpoints compare stored
+// totals against this count, so a windowed tile commits when its window
+// (not the whole tile) has been delivered.
+func (t Tile) Arcs() int64 {
+	n := t.FullArcs() - t.Skip
+	if n < 0 {
+		n = 0
+	}
+	if t.Take > 0 && n > t.Take {
+		n = t.Take
 	}
 	return n
 }
@@ -262,16 +282,21 @@ type attemptSink interface {
 // plainAttemptSink adapts a RankSink for an unsupervised single-attempt
 // run: every edge stores, and the attempt's end closes the sink.
 type plainAttemptSink struct {
-	rs RankSink
-	bs BlockStorer // non-nil when rs implements the block fast path
+	rs  RankSink
+	bs  BlockStorer     // non-nil when rs implements the block fast path
+	tbs TileBlockStorer // preferred over bs when rs needs the tile framing
 }
 
 func newPlainAttemptSink(rs RankSink) plainAttemptSink {
 	bs, _ := rs.(BlockStorer)
-	return plainAttemptSink{rs: rs, bs: bs}
+	tbs, _ := rs.(TileBlockStorer)
+	return plainAttemptSink{rs: rs, bs: bs, tbs: tbs}
 }
 
-func (p plainAttemptSink) storeBlock(_ int, edges []graph.Edge) (int64, error) {
+func (p plainAttemptSink) storeBlock(tile int, edges []graph.Edge) (int64, error) {
+	if p.tbs != nil {
+		return p.tbs.StoreTileBlock(tile, edges)
+	}
 	if p.bs != nil {
 		return p.bs.StoreBlock(edges)
 	}
@@ -428,12 +453,28 @@ func runAttempt(ctx context.Context, c *Cluster, owner Owner, tiles [][]Tile, si
 		// adds + append.
 		expandTiles := func(handleBlock func(tile int, block []graph.Edge) bool) {
 			for _, t := range tiles[rk.ID()] {
+				// rem is the tile's windowed arc budget; Skip locates the
+				// start position arithmetically (A-arc index + in-tail
+				// offset) so the skipped prefix is never generated — the
+				// seek cost is independent of Skip's magnitude.
+				rem := t.Arcs()
+				if rem == 0 {
+					continue
+				}
 				if len(t.Tail) == 1 {
 					b := t.Tail[0]
 					bArcs := b.ArcSlice()
 					nB := b.NumVertices()
-					for _, aArc := range t.AArcs {
-						for lo := 0; lo < len(bArcs); lo += batch {
+					nTail := int64(len(bArcs))
+					aStart := int(t.Skip / nTail)
+					tailPos := int(t.Skip % nTail)
+					for ai := aStart; ai < len(t.AArcs) && rem > 0; ai++ {
+						aArc := t.AArcs[ai]
+						lo := 0
+						if ai == aStart {
+							lo = tailPos
+						}
+						for ; lo < len(bArcs) && rem > 0; lo += batch {
 							hi := lo + batch
 							if hi > len(bArcs) {
 								hi = len(bArcs)
@@ -442,6 +483,10 @@ func runAttempt(ctx context.Context, c *Cluster, owner Owner, tiles [][]Tile, si
 							// Chunks walk bArcs in CSR order, so the
 							// reference expansion order is preserved exactly.
 							block := core.ExpandBlock(aArc, bArcs[lo:hi], nB, scratch)
+							if int64(len(block)) > rem {
+								block = block[:rem]
+							}
+							rem -= int64(len(block))
 							scratch = block[:0]
 							if !handleBlock(t.ID, block) {
 								return
@@ -452,15 +497,28 @@ func runAttempt(ctx context.Context, c *Cluster, owner Owner, tiles [][]Tile, si
 				}
 				cur := core.NewTailCursor(t.Tail)
 				nT := cur.NumVertices()
-				for _, aArc := range t.AArcs {
-					cur.Reset()
+				nTail := cur.Total()
+				aStart := int(t.Skip / nTail)
+				tailPos := t.Skip % nTail
+				for ai := aStart; ai < len(t.AArcs) && rem > 0; ai++ {
+					aArc := t.AArcs[ai]
+					if ai == aStart {
+						cur.SeekTo(tailPos)
+					} else {
+						cur.Reset()
+					}
 					uBase, vBase := aArc.U*nT, aArc.V*nT
-					for {
+					for rem > 0 {
 						pprof.SetGoroutineLabels(expandLabels)
-						block := cur.ExpandNext(uBase, vBase, scratch, batch)
+						max := batch
+						if rem < int64(max) {
+							max = int(rem)
+						}
+						block := cur.ExpandNext(uBase, vBase, scratch, max)
 						if len(block) == 0 {
 							break
 						}
+						rem -= int64(len(block))
 						scratch = block[:0]
 						if !handleBlock(t.ID, block) {
 							return

@@ -282,7 +282,17 @@ func generateToStore(a, b *graph.Graph, r int, dir string, twoD bool) (*store.St
 // generate-route-store pipeline at any chain depth with O(batch) memory
 // per rank regardless of |E_C|.
 func GenerateChainToStore(ch *core.Chain, r int, dir string, twoD bool) (*store.Store, Stats, error) {
-	plan, err := planForChain(ch, r, twoD)
+	return GenerateChainToStoreFrom(ch, r, dir, twoD, 0, -1)
+}
+
+// GenerateChainToStoreFrom is GenerateChainToStore over a contiguous
+// window of the chain's deterministic stream: limit arcs (< 0 = through
+// the end) starting at global arc offset — sharded dumps of a slice of a
+// huge product, without generating the skipped prefix (Plan.Slice
+// windows the tiles arithmetically). The store's manifest records only
+// the window's edges; NC stays the full product's vertex count.
+func GenerateChainToStoreFrom(ch *core.Chain, r int, dir string, twoD bool, offset, limit int64) (*store.Store, Stats, error) {
+	plan, err := sliceForChain(ch, r, twoD, offset, limit)
 	if err != nil {
 		return nil, Stats{}, err
 	}

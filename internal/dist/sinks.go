@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +27,16 @@ import (
 // retain (append of graph.Edge values copies).
 type BlockStorer interface {
 	StoreBlock(edges []graph.Edge) (int64, error)
+}
+
+// TileBlockStorer is the tile-aware variant of BlockStorer: the engine
+// frames deliveries by tile already (batches never mix tiles), and a
+// sink that needs the framing — the ordered stream sink flushes at tile
+// boundaries so its consumer can interleave ranks in global tile order —
+// implements this instead. When a RankSink implements both, the engine
+// prefers TileBlockStorer.
+type TileBlockStorer interface {
+	StoreTileBlock(tile int, edges []graph.Edge) (int64, error)
 }
 
 // MemorySink collects each rank's owned edges in an in-memory slice —
@@ -179,27 +190,85 @@ func (t *storeRankSink) Close() error {
 	return t.sw.Close()
 }
 
-// streamSink fans every rank's edges into one buffered channel drained by
-// a single consumer — the serving sink behind Stream. Batches are pooled:
-// the consumer returns each batch after use via recycle.
-type streamSink struct {
-	ctx   context.Context
-	ch    chan []graph.Edge
-	batch int
-
-	mu   sync.Mutex
-	free [][]graph.Edge
-
-	messages int64
-	routed   int64
-	bytes    int64
+// streamBatch is one tile-framed delivery from an expander rank to the
+// stream consumer.
+type streamBatch struct {
+	tile  int
+	edges []graph.Edge
 }
 
-func newStreamSink(ctx context.Context, batch, depth int) *streamSink {
-	return &streamSink{ctx: ctx, ch: make(chan []graph.Edge, depth), batch: batch}
+// streamSink feeds a single consumer from every expander rank through
+// per-rank channels of tile-framed batches — the serving sink behind
+// Stream. Per-rank channels (rather than one shared channel) are what
+// make the stream deterministic: each rank's channel is FIFO and its
+// tile sequence is ID-increasing, so the consumer can walk tiles in
+// global ID order pulling each tile's batches from its owning rank,
+// with backpressure (small channel depth) bounding how far ahead other
+// ranks run. Batches are pooled; the consumer returns each batch after
+// use via recycle, and the outstanding counter is the leak probe.
+type streamSink struct {
+	ctx   context.Context
+	chans []chan streamBatch // one per rank
+	batch int
+
+	mu       sync.Mutex
+	free     [][]graph.Edge
+	residual []*streamBatch  // per-rank Close-time tail, delivered out of band
+	done     []chan struct{} // closed by rank i's sink Close: residual[i] is ready
+
+	outstanding int64 // buffers checked out and not yet recycled
+	messages    int64
+	routed      int64
+	bytes       int64
+}
+
+// streamChanDepth is the per-rank channel depth: enough to decouple a
+// rank's expansion from the consumer's emit without letting ahead-running
+// ranks buffer unboundedly (per-rank stream memory stays O(batch)).
+const streamChanDepth = 2
+
+func newStreamSink(ctx context.Context, batch, ranks int) *streamSink {
+	s := &streamSink{
+		ctx:      ctx,
+		chans:    make([]chan streamBatch, ranks),
+		batch:    batch,
+		residual: make([]*streamBatch, ranks),
+		done:     make([]chan struct{}, ranks),
+	}
+	for i := range s.chans {
+		s.chans[i] = make(chan streamBatch, streamChanDepth)
+		s.done[i] = make(chan struct{})
+	}
+	return s
+}
+
+// setResidual parks a rank's Close-time tail for out-of-band pickup. Close
+// cannot deliver through the channel: it may run at attempt teardown
+// (consumer not draining this rank) or from the supervisor's sequential
+// finalize loop (whose rank order can cross the consumer's global tile
+// order), and a blocking send from either can deadlock. The consumer
+// learns the residual is ready from the rank's done signal — closed
+// after the park, so the handoff is ordered.
+func (s *streamSink) setResidual(rank int, b streamBatch) {
+	atomic.AddInt64(&s.messages, 1)
+	atomic.AddInt64(&s.routed, int64(len(b.edges)))
+	atomic.AddInt64(&s.bytes, int64(len(b.edges))*edgeWireBytes)
+	s.mu.Lock()
+	s.residual[rank] = &b
+	s.mu.Unlock()
+}
+
+// takeResidual removes and returns rank's parked tail, or nil.
+func (s *streamSink) takeResidual(rank int) *streamBatch {
+	s.mu.Lock()
+	b := s.residual[rank]
+	s.residual[rank] = nil
+	s.mu.Unlock()
+	return b
 }
 
 func (s *streamSink) getBuf() []graph.Edge {
+	atomic.AddInt64(&s.outstanding, 1)
 	s.mu.Lock()
 	if k := len(s.free); k > 0 {
 		b := s.free[k-1]
@@ -219,6 +288,7 @@ func (s *streamSink) recycle(b []graph.Edge) {
 	if cap(b) == 0 {
 		return
 	}
+	atomic.AddInt64(&s.outstanding, -1)
 	s.mu.Lock()
 	s.free = append(s.free, b[:0])
 	s.mu.Unlock()
@@ -226,32 +296,41 @@ func (s *streamSink) recycle(b []graph.Edge) {
 
 // Rank implements Sink.
 func (s *streamSink) Rank(rk *Rank) (RankSink, error) {
-	return &streamRankSink{s: s, buf: s.getBuf()}, nil
+	return &streamRankSink{s: s, rk: rk, rank: rk.ID(), tile: -1, buf: s.getBuf()}, nil
 }
 
-// streamRankSink buffers one rank's edges between flushes. Under
+// streamRankSink buffers one rank's edges between flushes, flushing at
+// tile boundaries so every delivered batch carries a single tile. Under
 // supervision the same instance spans run attempts: edges accepted (and
 // checkpoint-counted) by a failed attempt stay in buf and reach the
 // consumer on a later flush, which is what keeps a recovered stream
 // exactly-once end to end.
 type streamRankSink struct {
-	s   *streamSink
-	buf []graph.Edge
+	s    *streamSink
+	rk   *Rank // for the attempt context — flushes must not outlive teardown
+	rank int
+	tile int // tile the buffered edges belong to; -1 when empty
+	buf  []graph.Edge
 }
 
-func (t *streamRankSink) Store(e graph.Edge) error {
-	t.buf = append(t.buf, e)
-	if len(t.buf) >= t.s.batch {
-		return t.flush()
-	}
-	return nil
+// Store is unreachable: the engine always prefers the StoreTileBlock
+// fast path. It refuses rather than guessing a tile frame.
+func (t *streamRankSink) Store(graph.Edge) error {
+	return fmt.Errorf("dist: stream sink requires tile-framed block delivery")
 }
 
-// StoreBlock implements BlockStorer: the batch is copied into the rank
+// StoreTileBlock implements TileBlockStorer: a tile switch flushes the
+// previous tile's remainder, then the batch is copied into the rank
 // buffer in chunks that honor the flush threshold. Edges count as stored
 // once buffered — buffered edges survive attempts (see the type comment),
-// so this matches Store's exactly-once accounting.
-func (t *streamRankSink) StoreBlock(edges []graph.Edge) (int64, error) {
+// so this matches the fenced sinks' exactly-once accounting.
+func (t *streamRankSink) StoreTileBlock(tile int, edges []graph.Edge) (int64, error) {
+	if tile != t.tile {
+		if err := t.flush(); err != nil {
+			return 0, err
+		}
+		t.tile = tile
+	}
 	var stored int64
 	for len(edges) > 0 {
 		if room := t.s.batch - len(t.buf); room > 0 {
@@ -274,13 +353,17 @@ func (t *streamRankSink) StoreBlock(edges []graph.Edge) (int64, error) {
 
 // flush hands the current batch to the consumer, accounting it as routed
 // traffic only on successful delivery — a batch dropped by cancellation
-// is never counted.
+// is never counted. It runs on the rank goroutine during an attempt, so
+// it also watches the attempt context: when another rank crashes, the
+// consumer is waiting on that rank's channel in tile order and may never
+// drain this one — the attempt teardown must be allowed to unblock the
+// send, leaving the buffered edges in buf for the next attempt.
 func (t *streamRankSink) flush() error {
 	if len(t.buf) == 0 {
 		return nil
 	}
 	select {
-	case t.s.ch <- t.buf:
+	case t.s.chans[t.rank] <- streamBatch{tile: t.tile, edges: t.buf}:
 		atomic.AddInt64(&t.s.messages, 1)
 		atomic.AddInt64(&t.s.routed, int64(len(t.buf)))
 		atomic.AddInt64(&t.s.bytes, int64(len(t.buf))*edgeWireBytes)
@@ -288,17 +371,26 @@ func (t *streamRankSink) flush() error {
 		return nil
 	case <-t.s.ctx.Done():
 		return context.Cause(t.s.ctx)
+	case <-t.rk.c.ctx.Done():
+		return context.Cause(t.rk.c.ctx)
 	}
 }
 
-// Close performs the final flush; its result is propagated so a batch
-// dropped at teardown is reported rather than silently counted. On the
-// abort path the undelivered batch is recycled instead of leaking.
+// Close parks the final partial batch as the rank's residual instead of
+// flushing: Close runs either at attempt teardown (where the consumer may
+// not be draining this channel) or from the supervisor's sequential
+// finalize loop (whose rank order can cross the consumer's global tile
+// order), and a blocking send from either would deadlock. The consumer
+// picks residuals up after the channels close. Either way the sink leaves
+// no buffer checked out — the outstanding counter must return to zero on
+// every path.
 func (t *streamRankSink) Close() error {
-	err := t.flush()
-	if err != nil && t.buf != nil {
+	if len(t.buf) > 0 && t.tile >= 0 {
+		t.s.setResidual(t.rank, streamBatch{tile: t.tile, edges: t.buf})
+	} else if t.buf != nil {
 		t.s.recycle(t.buf)
-		t.buf = nil
 	}
-	return err
+	t.buf = nil
+	close(t.s.done[t.rank]) // no more sends on this rank's channel
+	return nil
 }

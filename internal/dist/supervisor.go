@@ -66,8 +66,9 @@ func (ts *tileState) storedTotal() int64 {
 // RunContext's spawn and join.
 type fencedRankSink struct {
 	rank  int
-	under RankSink    // created lazily once, reused across attempts
-	bs    BlockStorer // under's block fast path, when it has one
+	under RankSink        // created lazily once, reused across attempts
+	bs    BlockStorer     // under's block fast path, when it has one
+	tbs   TileBlockStorer // preferred over bs when under needs tile framing
 
 	skip    map[int]int64 // remaining prefix to suppress this attempt, per tile
 	stored  map[int]int64 // edges newly stored this attempt, per tile
@@ -118,7 +119,9 @@ func (f *fencedRankSink) storeBlock(tile int, edges []graph.Edge) (int64, error)
 	}
 	var stored int64
 	var err error
-	if f.bs != nil {
+	if f.tbs != nil {
+		stored, err = f.tbs.StoreTileBlock(tile, edges)
+	} else if f.bs != nil {
 		stored, err = f.bs.StoreBlock(edges)
 	} else {
 		for _, e := range edges {
@@ -175,6 +178,7 @@ func (s *supervision) sinkFor(rk *Rank) (attemptSink, error) {
 		}
 		f.under = rs
 		f.bs, _ = rs.(BlockStorer)
+		f.tbs, _ = rs.(TileBlockStorer)
 	}
 	return f, nil
 }

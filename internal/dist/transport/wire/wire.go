@@ -44,8 +44,11 @@ import (
 // cover factor chains (dist.PlanHash folds the chain dimensions and
 // per-tile tail shapes), so a v1 peer's hash of the "same" plan would
 // not match — the version bump turns that silent mismatch into a loud
-// handshake refusal.
-const Version = 2
+// handshake refusal. Version 3: plan hashes fold the per-tile stream
+// windows (Tile.Skip/Take, seekable generation), shifting every plan's
+// hash — same posture, a version refusal instead of a baffling plan
+// mismatch against a v2 peer.
+const Version = 3
 
 // Magic opens every frame — a cheap desynchronization tripwire: if a
 // torn or corrupt frame shifts the stream, the next header read fails

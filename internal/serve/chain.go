@@ -1,19 +1,14 @@
 package serve
 
 import (
-	"bufio"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
-	"time"
 
 	"kronlab/internal/core"
-	"kronlab/internal/dist"
 	"kronlab/internal/graph"
 	"kronlab/internal/groundtruth"
-	"kronlab/internal/store"
 )
 
 // Chain routes generalize the two-factor endpoints to factor chains
@@ -316,120 +311,12 @@ func (s *Server) chainGTHops(w http.ResponseWriter, r *http.Request, req *chainG
 // handleChainGenerate serves GET /gen/{chain}/edges: the chain product's
 // arcs streamed by the dist chain engine without ever materializing the
 // product (or any pairwise intermediate) server-side. Query parameters
-// match /gen/{a}/{b}/edges, plus power=k for single-key chains.
+// match /gen/{a}/{b}/edges (one shared implementation — see
+// streamChainEdges), plus power=k for single-key chains.
 func (s *Server) handleChainGenerate(w http.ResponseWriter, r *http.Request) {
 	gs, hashes, ok := s.resolveChainList(w, r, r.PathValue("chain"))
 	if !ok {
 		return
 	}
-	q := r.URL.Query()
-	if q.Get("loops") == "1" {
-		for i, g := range gs {
-			gs[i] = g.WithFullSelfLoops()
-		}
-	}
-
-	twoD := false
-	switch q.Get("layout") {
-	case "", "1d":
-	case "2d":
-		twoD = true
-	default:
-		writeError(w, http.StatusBadRequest, "layout must be 1d or 2d")
-		return
-	}
-
-	ranks := s.cfg.MaxInflight
-	if raw := q.Get("ranks"); raw != "" {
-		v, err := strconv.Atoi(raw)
-		if err != nil || v < 1 {
-			writeError(w, http.StatusBadRequest, "bad ranks=%q", raw)
-			return
-		}
-		ranks = v
-	}
-	if ranks > s.cfg.MaxRanks {
-		ranks = s.cfg.MaxRanks
-	}
-
-	var limit int64 = -1
-	if raw := q.Get("limit"); raw != "" {
-		v, err := strconv.ParseInt(raw, 10, 64)
-		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, "bad limit=%q", raw)
-			return
-		}
-		limit = v
-	}
-
-	binaryFmt := false
-	switch q.Get("format") {
-	case "", "ndjson":
-	case "binary":
-		binaryFmt = true
-	default:
-		writeError(w, http.StatusBadRequest, "format must be ndjson or binary")
-		return
-	}
-
-	ch, err := core.NewChain(gs...)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	totalArcs, err := ch.NumArcs()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	if binaryFmt {
-		w.Header().Set("Content-Type", "application/octet-stream")
-	} else {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-	}
-	w.Header().Set("X-Kronlab-Product-N", strconv.FormatInt(ch.NumVertices(), 10))
-	w.Header().Set("X-Kronlab-Product-Arcs", strconv.FormatInt(totalArcs, 10))
-	w.Header().Set("X-Kronlab-Factors", strings.Join(hashes, ","))
-	w.Header().Set("Trailer", "X-Kronlab-Complete, X-Kronlab-Arcs-Written")
-
-	bw := bufio.NewWriterSize(w, 1<<16)
-	flusher, _ := w.(http.Flusher)
-	var written int64
-	var rec [store.RecordSize]byte
-	emit := func(batch []graph.Edge) error {
-		for _, e := range batch {
-			if limit >= 0 && written >= limit {
-				return errStreamLimit
-			}
-			var err error
-			if binaryFmt {
-				store.PutRecord(rec[:], e.U, e.V)
-				_, err = bw.Write(rec[:])
-			} else {
-				_, err = fmt.Fprintf(bw, "{\"u\":%d,\"v\":%d}\n", e.U, e.V)
-			}
-			if err != nil {
-				return err
-			}
-			written++
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return nil
-	}
-
-	recov := dist.Recovery{MaxRetries: s.cfg.GenRetries, Backoff: 5 * time.Millisecond, Reassign: true}
-	stats, err := dist.StreamChain(r.Context(), ch, ranks, twoD, 0, recov, emit)
-	s.metrics.AddGenStats(stats)
-	complete := err == nil || errors.Is(err, errStreamLimit)
-	if complete {
-		_ = bw.Flush()
-	}
-	w.Header().Set("X-Kronlab-Complete", strconv.FormatBool(complete))
-	w.Header().Set("X-Kronlab-Arcs-Written", strconv.FormatInt(written, 10))
+	s.streamChainEdges(w, r, gs, hashes)
 }
