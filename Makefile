@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench benchcmp allocguard clean recovery-soak lint cluster-smoke
+.PHONY: all build test race vet fmt-check bench benchcmp allocguard clean recovery-soak head-soak fuzz-smoke lint cluster-smoke
 
 all: build test
 
@@ -29,6 +29,25 @@ fmt-check:
 # epoch-fencing suites under the race detector, mirroring the CI job.
 recovery-soak:
 	$(GO) test -race -count 1 -timeout 6m -run 'Recover|Respawn|Epoch' ./internal/dist/
+
+# Head-death soak: the multi-process head kill+respawn suite, the run
+# ledger, and the partition/heartbeat failure-detection tests, repeated
+# under the race detector. The -timeout is a hard stop — a respawned
+# head that never converges or a worker that parks forever must fail the
+# run, not hang it.
+head-soak:
+	$(GO) test -race -count 5 -timeout 8m \
+		-run 'ClusterHeadKill|Ledger|Partition|Heartbeat|FailureDetection' ./internal/dist/...
+
+# Short fuzzing pass: every Fuzz* harness for a few seconds each, so the
+# corpora stay loadable and cheap wins (a ledger replay panic on
+# arbitrary bytes, a frame decode crash) surface without a fuzz farm.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime 5s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzBinaryRoundTrip -fuzztime 5s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzChainIndex -fuzztime 5s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeBatch -fuzztime 5s ./internal/dist/transport/wire/
+	$(GO) test -run '^$$' -fuzz FuzzLedgerReplay -fuzztime 5s ./internal/dist/ledger/
 
 # Lint the concurrency-heavy dist package. staticcheck is optional
 # locally (CI installs a pinned version); vet always runs.

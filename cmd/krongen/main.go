@@ -16,7 +16,9 @@
 //	flags: [-out C.txt] [-mode serial|1d|2d] [-ranks R] [-self-loops]
 //	       [-binary] [-stats] [-store DIR [-shards S]]
 //	       [-offset N] [-limit M]
-//	       [-cluster-peers H:P,H:P,... -cluster-self N [-retries K]]
+//	       [-cluster-peers H:P,H:P,... -cluster-self N [-retries K]
+//	        [-ledger FILE] [-head-retries K] [-hb-interval D] [-hb-deadline D]
+//	        [-dial-timeout D]]
 //
 // Before generating, krongen prints the closed-form expected |V| and |E|
 // of the product to stderr, and refuses to start when either count
@@ -56,6 +58,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -88,6 +91,11 @@ func main() {
 	clusterPeers := flag.String("cluster-peers", "", "comma-separated host:port list of every cluster process, in process order (requires -store and -mode 1d|2d)")
 	clusterSelf := flag.Int("cluster-self", 0, "this process's index into -cluster-peers")
 	retries := flag.Int("retries", 3, "cluster mode: attempts to retry after a recoverable peer failure")
+	ledgerPath := flag.String("ledger", "", "cluster mode: durable run-ledger file for process 0; a respawned head replays it and resumes instead of restarting")
+	headRetries := flag.Int("head-retries", 5, "cluster mode: how many times a worker re-dials a lost head before giving up")
+	hbInterval := flag.Duration("hb-interval", 0, "cluster mode: application heartbeat interval (0 = 2s default; negative disables heartbeats)")
+	hbDeadline := flag.Duration("hb-deadline", 0, "cluster mode: peer silence deadline before a partition verdict (0 = 5× interval)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "cluster mode: dial and handshake timeout (0 = 10s default); raise on slow networks")
 	dumpStore := flag.String("dump-store", "", "load an existing store at this directory and write it as an edge list (to -out or stdout); no generation")
 	dumpArcs := flag.Bool("dump-arcs", false, "with -dump-store: write every stored arc as a headerless \"u v\" line instead of the canonical undirected edge list (windowed stores are not arc-symmetric)")
 	flag.Parse()
@@ -231,7 +239,9 @@ func main() {
 	}
 
 	if *clusterPeers != "" {
-		runCluster(ch, *mode == "2d", *storeDir, *clusterPeers, *clusterSelf, *ranks, *retries, *stats, *offset, *limit)
+		runCluster(ch, *mode == "2d", *storeDir, *clusterPeers, *clusterSelf, *ranks, *retries, *stats, *offset, *limit,
+			clusterOpts{ledger: *ledgerPath, headRetries: *headRetries,
+				hbInterval: *hbInterval, hbDeadline: *hbDeadline, dialTimeout: *dialTimeout})
 		return
 	}
 
@@ -412,13 +422,29 @@ func openOut(path string) *os.File {
 	return f
 }
 
+// clusterOpts bundles the robustness knobs of cluster mode: the head's
+// durable run ledger, the workers' head re-dial budget, heartbeat
+// tuning, and the dial/handshake timeout.
+type clusterOpts struct {
+	ledger      string
+	headRetries int
+	hbInterval  time.Duration
+	hbDeadline  time.Duration
+	dialTimeout time.Duration
+}
+
 // runCluster runs this process's share of a multi-process TCP cluster
 // generation of a factor chain. Every peer process runs the same command
 // line except for -cluster-self, derives the identical chain plan from
 // the shared factor files, and the plan-hash handshake refuses any peer
 // whose plan disagrees. Process 0 finalizes the store and prints the
 // -stats summary; workers exit silently on success.
-func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retries int, stats bool, offset, limit int64) {
+//
+// The env var KRONLAB_TCP_KILL_FRAMES (> 0) arms the wire-level
+// self-SIGKILL after that many outbound batch frames — the chaos hook
+// scripts/cluster_local.sh uses to murder a process mid-exchange and
+// exercise respawn recovery against a real process tree.
+func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retries int, stats bool, offset, limit int64, opts clusterOpts) {
 	addrs := strings.Split(peers, ",")
 	for i, s := range addrs {
 		addrs[i] = strings.TrimSpace(s)
@@ -456,14 +482,24 @@ func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retri
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
+	var faults *dist.FaultPlan
+	if kf, _ := strconv.ParseInt(os.Getenv("KRONLAB_TCP_KILL_FRAMES"), 10, 64); kf > 0 {
+		faults = &dist.FaultPlan{TCP: transport.TCPFaults{KillAfterFrames: kf}}
+	}
+
 	start := time.Now()
-	st, genStats, err := dist.GenerateChainClusterToStoreFrom(ctx, ch, dir, twoD, offset, limit,
+	st, genStats, err := dist.GenerateChainClusterToStoreOpts(ctx, ch, dir, twoD, offset, limit,
 		dist.ClusterConfig{
-			Procs: transport.SplitRanks(addrs, ranks),
-			Self:  self,
-			Node:  node,
+			Procs:             transport.SplitRanks(addrs, ranks),
+			Self:              self,
+			Node:              node,
+			LedgerPath:        opts.ledger,
+			HeadRetries:       opts.headRetries,
+			HeartbeatInterval: opts.hbInterval,
+			HeartbeatDeadline: opts.hbDeadline,
+			DialTimeout:       opts.dialTimeout,
 		},
-		dist.Recovery{MaxRetries: retries, Backoff: 250 * time.Millisecond})
+		dist.Recovery{MaxRetries: retries, Backoff: 250 * time.Millisecond}, faults)
 	if err != nil {
 		log.Fatalf("cluster generation (proc %d): %v", self, err)
 	}
@@ -474,7 +510,7 @@ func runCluster(ch *core.Chain, twoD bool, dir, peers string, self, ranks, retri
 		elapsed := time.Since(start)
 		fmt.Fprintf(os.Stderr, "streamed %d arcs to %s (%d shards) in %v (%.0f edges/s)\n",
 			st.TotalEdges(), dir, st.Shards(), elapsed, float64(st.TotalEdges())/elapsed.Seconds())
-		fmt.Fprintf(os.Stderr, "procs=%d ranks=%d routed=%d edges, %d bytes, %d messages, max stored/rank=%d, recovered runs=%d\n",
-			len(addrs), ranks, genStats.EdgesRouted, genStats.BytesSent, genStats.Messages, genStats.MaxStored(), genStats.RecoveredRuns)
+		fmt.Fprintf(os.Stderr, "procs=%d ranks=%d routed=%d edges, %d bytes, %d messages, max stored/rank=%d, recovered runs=%d, head generation=%d\n",
+			len(addrs), ranks, genStats.EdgesRouted, genStats.BytesSent, genStats.Messages, genStats.MaxStored(), genStats.RecoveredRuns, genStats.HeadGeneration)
 	}
 }

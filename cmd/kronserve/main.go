@@ -16,6 +16,7 @@
 //	-gen-retries    supervised-recovery budget for generation runs (default 1)
 //	-max-upload-mb  factor upload size cap in MiB (default 64)
 //	-max-ranks      cap on the ranks= generation parameter (default 64)
+//	-ledger         run-ledger path reported via /healthz (default none)
 //	-drain          graceful shutdown deadline after SIGTERM/SIGINT (default 15s)
 //	-pprof          side listener address for net/http/pprof (default off)
 //
@@ -61,6 +62,7 @@ func main() {
 	genRetries := flag.Int("gen-retries", 1, "supervised-recovery budget for generation runs (negative disables)")
 	uploadMB := flag.Int64("max-upload-mb", 64, "factor upload cap in MiB")
 	maxRanks := flag.Int("max-ranks", 64, "cap on the ranks= generation parameter")
+	ledgerPath := flag.String("ledger", "", "run-ledger path of the fronted cluster deployment, reported via /healthz")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown deadline after SIGTERM/SIGINT")
 	pprofAddr := flag.String("pprof", "", "side listener address for net/http/pprof (empty = disabled)")
 	flag.Parse()
@@ -93,6 +95,7 @@ func main() {
 		GenRetries:     *genRetries,
 		MaxUploadBytes: *uploadMB << 20,
 		MaxRanks:       *maxRanks,
+		LedgerPath:     *ledgerPath,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"kronlab/internal/core"
+	"kronlab/internal/dist/transport"
 	chantransport "kronlab/internal/dist/transport/chan"
 	"kronlab/internal/gen"
 	"kronlab/internal/graph"
@@ -749,6 +750,85 @@ func TestRecoverExhaustedBudgetStaysLoud(t *testing.T) {
 	}
 	if st.OutstandingBufs != 0 {
 		t.Fatalf("failed supervised run leaked %d pooled buffers", st.OutstandingBufs)
+	}
+}
+
+// TestPartitionDetectedLoudly black-holes a rank mid-exchange with every
+// channel still open — the failure mode nothing trips on except a
+// failure detector — and asserts the unsupervised run dies promptly with
+// a PeerError naming the partitioned rank, rather than hanging on
+// batches that will never arrive.
+func TestPartitionDetectedLoudly(t *testing.T) {
+	a := gen.ER(8, 0.5, 251)
+	b := gen.ER(7, 0.5, 252)
+	const r = 3
+	plan, err := Plan1D(a, b, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMemorySink(r)
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		_, err := Run(context.Background(), Config{
+			Plan: plan, Owner: OwnerBySource, Sink: ms,
+			Faults: &FaultPlan{Seed: 253, PartitionRank: 1, PartitionAfterSends: 3},
+		})
+		return err
+	})
+	var pe *transport.PeerError
+	if !errors.As(runErr, &pe) {
+		t.Fatalf("partitioned run returned %v, want *transport.PeerError", runErr)
+	}
+	if pe.Proc != 1 {
+		t.Fatalf("PeerError names rank %d, want the partitioned rank 1", pe.Proc)
+	}
+	if !errors.Is(pe.Err, chantransport.ErrHeartbeat) {
+		t.Fatalf("PeerError cause = %v, want the failure-detection verdict", pe.Err)
+	}
+}
+
+// TestRecoverPartition is the supervised form: the partition kills the
+// first attempt via the failure detector, Reset heals the network (the
+// fault is one-shot, like a crash that does not re-fire), and the replay
+// delivers the exact product with the retry blamed on the partitioned
+// rank and no leaked buffers.
+func TestRecoverPartition(t *testing.T) {
+	a := gen.ER(8, 0.5, 261).WithFullSelfLoops()
+	b := gen.PrefAttach(6, 2, 262)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 3
+	plan, err := Plan1D(a, b, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMemorySink(r)
+	var st Stats
+	runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+		var err error
+		st, err = Run(context.Background(), Config{
+			Plan: plan, Owner: OwnerBySource, Sink: ms,
+			Faults:   &FaultPlan{Seed: 263, PartitionRank: 1, PartitionAfterSends: 4},
+			Recovery: Recovery{MaxRetries: 2, Backoff: time.Millisecond},
+		})
+		return err
+	})
+	if runErr != nil {
+		t.Fatalf("supervised run failed despite a healed partition: %v", runErr)
+	}
+	assertExact(t, a.NumVertices()*b.NumVertices(), mergedArcs(ms), want)
+	if st.TotalRetries() < 1 {
+		t.Fatal("partition recovery left no retry trace")
+	}
+	if st.RetriesPerRank[1] == 0 {
+		t.Fatalf("retry not attributed to the partitioned rank: %v", st.RetriesPerRank)
+	}
+	if st.RecoveredRuns != 1 {
+		t.Fatalf("RecoveredRuns = %d, want 1", st.RecoveredRuns)
+	}
+	if st.OutstandingBufs != 0 {
+		t.Fatalf("recovered run leaked %d pooled buffers", st.OutstandingBufs)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kronlab/internal/dist/transport"
 	chantransport "kronlab/internal/dist/transport/chan"
@@ -65,6 +66,15 @@ type Stats struct {
 	TilesReassigned   int64   // tiles moved off a crashed rank to survivors
 	RecoveredRuns     int64   // 1 when the run succeeded only after retries
 	DuplicatesSkipped int64   // replayed edges suppressed by checkpoint fencing
+
+	// Cluster-mode robustness counters (populated by RunCluster; zero
+	// elsewhere). HeadGeneration counts head incarnations across the run's
+	// ledger (1 = the head never died); LastEpoch is the final attempt
+	// epoch; HeartbeatMisses counts heartbeat intervals some peer spent
+	// silent — early smoke for slow or partitioned links.
+	HeadGeneration  int64
+	LastEpoch       int64
+	HeartbeatMisses int64
 
 	// OutstandingBufs snapshots pooled batch buffers still checked out.
 	// A clean (or supervised-and-drained) run ends at 0; the chaos suite
@@ -187,8 +197,28 @@ func (c *Cluster) Transport() transport.Transport { return c.tr }
 // and drops identically), while one-shot faults — crash countdowns and
 // the scheduled-loss window — keep their lifetime counters, so a
 // supervised replay does not re-suffer a fault that already fired.
+//
+// A scheduled partition (PartitionAfterSends > 0) additionally arms the
+// transport's failure detector, when the transport supports partitions
+// (the in-process chan transport does; cluster mode's TCP transport is
+// partitioned through TCPFaults and real heartbeats instead). On a
+// transport without partition support the partition fields are ignored.
 func (c *Cluster) InjectFaults(plan FaultPlan) {
 	c.faults = newFaultState(plan, c.r)
+	if plan.PartitionAfterSends > 0 {
+		type partitioner interface {
+			Partition(rank int)
+			EnableFailureDetection(interval, deadline time.Duration)
+		}
+		if p, ok := c.tr.(partitioner); ok {
+			c.faults.partition = p.Partition
+			iv := plan.FDInterval
+			if iv <= 0 {
+				iv = 2 * time.Millisecond
+			}
+			p.EnableFailureDetection(iv, plan.FDDeadline)
+		}
+	}
 }
 
 // Reset returns a finished cluster to a runnable state: stale batches

@@ -16,6 +16,8 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"reflect"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"kronlab/internal/core"
+	"kronlab/internal/dist/ledger"
 	"kronlab/internal/dist/transport"
 	"kronlab/internal/dist/transport/tcp"
 	"kronlab/internal/gen"
@@ -179,11 +182,13 @@ func TestClusterHandshakeRejectsPlanMismatch(t *testing.T) {
 // TestClusterHelperProcess). The driver re-execs this test binary with
 // these set; KILL > 0 arms the wire-level SIGKILL on that worker.
 const (
-	envClusterHelper = "KRONLAB_CLUSTER_HELPER"
-	envClusterAddrs  = "KRONLAB_CLUSTER_ADDRS"
-	envClusterSelf   = "KRONLAB_CLUSTER_SELF"
-	envClusterDir    = "KRONLAB_CLUSTER_DIR"
-	envClusterKill   = "KRONLAB_CLUSTER_KILL"
+	envClusterHelper  = "KRONLAB_CLUSTER_HELPER"
+	envClusterAddrs   = "KRONLAB_CLUSTER_ADDRS"
+	envClusterSelf    = "KRONLAB_CLUSTER_SELF"
+	envClusterDir     = "KRONLAB_CLUSTER_DIR"
+	envClusterKill    = "KRONLAB_CLUSTER_KILL"
+	envClusterLedger  = "KRONLAB_CLUSTER_LEDGER"  // head: durable run ledger path
+	envClusterRetries = "KRONLAB_CLUSTER_RETRIES" // workers: head re-dial budget
 )
 
 // killTestFactors is the fixed factor pair of the crash-recovery
@@ -238,8 +243,14 @@ func TestClusterHelperProcess(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
 	defer cancel()
 	cc := ClusterConfig{Procs: transport.SplitRanks(addrs, plan.R), Self: self, Node: node}
+	if lp := os.Getenv(envClusterLedger); lp != "" && self == 0 {
+		cc.LedgerPath = lp
+	}
+	if hr, _ := strconv.Atoi(os.Getenv(envClusterRetries)); hr > 0 {
+		cc.HeadRetries = hr
+	}
 	if _, err := RunCluster(ctx, cc, cfg); err != nil {
-		t.Fatalf("worker %d: %v", self, err)
+		t.Fatalf("proc %d: %v", self, err)
 	}
 }
 
@@ -377,5 +388,133 @@ func TestClusterKillRecovery(t *testing.T) {
 	}
 	if !got.Equal(want) {
 		t.Fatal("recovered cluster product differs from serial reference")
+	}
+}
+
+// TestClusterHeadKillRecovery is the tentpole contract: a 4-process TCP
+// cluster whose HEAD — the supervisor owning the checkpoint table — is
+// SIGKILLed mid-exchange by its own wire fault schedule. The driver
+// respawns it as an external supervisor would; the respawned head
+// replays its durable ledger, bumps the head generation, re-accepts the
+// parked workers (whose joins re-announce their stored prefixes), and
+// finishes the run. The final store must match the serial product
+// edge-for-edge — zero duplicates, prefix-dedup fencing holding across
+// the head generation change — and the ledger must replay to a done run
+// with every tile committed.
+func TestClusterHeadKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	const nprocs = 4
+	addrs := reservePorts(t, nprocs)
+	dir := t.TempDir()
+	ledgerPath := dir + "/head.ledger"
+	_, plan, err := killTestConfig(dir, nprocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := killTestFactors()
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn := func(self int, kill int64) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run", "^TestClusterHelperProcess$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			envClusterHelper+"=1",
+			envClusterAddrs+"="+strings.Join(addrs, ","),
+			envClusterSelf+"="+strconv.Itoa(self),
+			envClusterDir+"="+dir,
+			envClusterKill+"="+strconv.FormatInt(kill, 10),
+			envClusterLedger+"="+ledgerPath,
+			envClusterRetries+"=12",
+		)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+
+	// Workers first (they park dialing the head), then the doomed head:
+	// SIGKILL after its 5th outbound batch frame, mid-exchange of epoch 0.
+	workers := make(map[int]*exec.Cmd)
+	for p := 1; p < nprocs; p++ {
+		workers[p] = spawn(p, 0)
+		if err := workers[p].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := spawn(0, 5)
+	if err := head.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The head dies by its own schedule; respawn it clean. The second
+	// generation must exit successfully.
+	headDied := make(chan error, 1)
+	respawnDone := make(chan error, 1)
+	go func() {
+		headDied <- head.Wait()
+		re := spawn(0, 0)
+		if err := re.Start(); err != nil {
+			respawnDone <- err
+			return
+		}
+		respawnDone <- re.Wait()
+	}()
+
+	if err := <-headDied; err == nil {
+		t.Fatal("head exited cleanly; the kill fault never fired")
+	}
+	if err := <-respawnDone; err != nil {
+		t.Fatalf("respawned head: %v", err)
+	}
+	for p := 1; p < nprocs; p++ {
+		if err := workers[p].Wait(); err != nil {
+			t.Fatalf("worker %d: %v", p, err)
+		}
+	}
+
+	// The ledger must replay to a completed generation-2 run with the
+	// exact committed-tile set.
+	lst, err := ledger.Replay(ledgerPath)
+	if err != nil {
+		t.Fatalf("ledger replay: %v", err)
+	}
+	if lst.Gen != 2 {
+		t.Fatalf("ledger head generation = %d, want 2 (one respawn)", lst.Gen)
+	}
+	if !lst.Done || lst.DoneErr != "" {
+		t.Fatalf("ledger outcome done=%v err=%q, want a clean done record", lst.Done, lst.DoneErr)
+	}
+	var wantTiles []int
+	for _, ts := range plan.Tiles {
+		for _, tl := range ts {
+			wantTiles = append(wantTiles, tl.ID)
+		}
+	}
+	sort.Ints(wantTiles)
+	if got := lst.CommittedTiles(); !reflect.DeepEqual(got, wantTiles) {
+		t.Fatalf("ledger committed tiles = %v, want %v", got, wantTiles)
+	}
+
+	// Edge-for-edge: exact arc count (zero duplicates) and exact set.
+	st, err := store.Recover(dir, plan.NC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalEdges() != want.NumArcs() {
+		t.Fatalf("recovered store holds %d arcs, want %d (duplicates or loss across head generations)",
+			st.TotalEdges(), want.NumArcs())
+	}
+	got, err := st.LoadGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("store after head respawn differs from serial reference")
 	}
 }

@@ -27,10 +27,23 @@ package dist
 //     the next epoch's assignment, and its mesh dials park at each peer
 //     until that peer enters the same epoch (tcp.Node's claim protocol).
 //
-// The head is a deliberate single point of failure: the paper's MPI
-// deployment has the same property in rank 0's result aggregation, and
-// a head death fails the run loudly rather than hanging it (workers'
-// control reads error out).
+// The head itself is no longer a single point of failure. With
+// ClusterConfig.LedgerPath set, the head journals its supervision state
+// — run identity, head generations, epochs, per-(tile, rank) stored
+// prefixes, tile commitments — to an append-only checksummed ledger
+// (internal/dist/ledger), fsynced at every state change. A respawned
+// head replays the ledger, refuses a different run's ledger by
+// identity, bumps the head generation, and resumes at the next epoch.
+// Workers whose control connection breaks do not tear down terminally:
+// they park and re-dial with jittered exponential backoff under the
+// ClusterConfig.HeadRetries budget, keeping their sinks open, and
+// announce their cumulative per-(rank, tile) stored prefixes in a join
+// message on every (re)connect. Those joins overwrite the replayed
+// table — the worker's own durable state is ground truth for its ranks
+// — so prefix fencing stays exactly-once even across a head generation
+// change where the ledger lags the workers' shards. Application-level
+// heartbeats on control and mesh links turn a black-holed peer into a
+// loud PeerError within a configured deadline instead of a hang.
 
 import (
 	"context"
@@ -38,10 +51,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
 	"kronlab/internal/core"
+	"kronlab/internal/dist/ledger"
 	"kronlab/internal/dist/transport"
 	"kronlab/internal/dist/transport/tcp"
 	"kronlab/internal/graph"
@@ -66,6 +81,23 @@ type ClusterConfig struct {
 	// the final collective synchronizes every live proc — so only a dead
 	// worker ever runs the timeout down.
 	ReportTimeout time.Duration
+	// LedgerPath, when non-empty on the head, arms the durable run
+	// ledger: supervision state is journaled there at every state change,
+	// and a respawned head resumes from it instead of restarting the run.
+	// Workers ignore it.
+	LedgerPath string
+	// HeadRetries is how many times a worker re-dials a broken head
+	// control link (with jittered exponential backoff) before giving up.
+	// 0 restores the old posture — the head's death fails the worker on
+	// the first break.
+	HeadRetries int
+	// HeartbeatInterval is the application heartbeat period on control
+	// and mesh links. 0 means 2s; negative disables heartbeats (and with
+	// them deadline-based partition detection).
+	HeartbeatInterval time.Duration
+	// HeartbeatDeadline is how long a link may stay silent before its
+	// peer is declared dead; ≤ 0 means 5× the interval.
+	HeartbeatDeadline time.Duration
 }
 
 func (cc ClusterConfig) reportTimeout() time.Duration {
@@ -73,6 +105,30 @@ func (cc ClusterConfig) reportTimeout() time.Duration {
 		return cc.ReportTimeout
 	}
 	return 30 * time.Second
+}
+
+func (cc ClusterConfig) dialTimeout() time.Duration {
+	if cc.DialTimeout > 0 {
+		return cc.DialTimeout
+	}
+	return 10 * time.Second
+}
+
+func (cc ClusterConfig) heartbeatInterval() time.Duration {
+	switch {
+	case cc.HeartbeatInterval > 0:
+		return cc.HeartbeatInterval
+	case cc.HeartbeatInterval < 0:
+		return 0 // disabled
+	}
+	return 2 * time.Second
+}
+
+func (cc ClusterConfig) heartbeatDeadline() time.Duration {
+	if cc.HeartbeatDeadline > 0 {
+		return cc.HeartbeatDeadline
+	}
+	return 5 * cc.heartbeatInterval()
 }
 
 // PlanHash fingerprints a plan for the cluster handshake: rank count,
@@ -122,6 +178,7 @@ func PlanHash(p Plan) uint64 {
 // Control protocol: JSON messages over the persistent worker→head
 // connections. One struct, discriminated by Kind, keeps the codec dumb.
 const (
+	ctrlJoin   = "join"   // worker → head: first message on every (re)connect
 	ctrlBegin  = "begin"  // head → worker: run one attempt
 	ctrlReport = "report" // worker → head: attempt outcome
 	ctrlDone   = "done"   // head → worker: run over, finalize sinks
@@ -144,6 +201,11 @@ type ctrlMsg struct {
 	// report: per-(rank, tile) edges newly stored this attempt, the
 	// duplicates suppressed, per-rank engine counters, traffic totals,
 	// and the attempt's error with its recovery classification.
+	// join reuses Stored with different semantics: the worker's
+	// *cumulative* per-(rank, tile) stored prefixes, absolute, which the
+	// head applies as ground truth for that proc's ranks (overwriting the
+	// table — a fresh respawn's empty join zeroes them, exactly what its
+	// truncated shards demand).
 	Stored      map[int]map[int]int64 `json:"stored,omitempty"`
 	Skipped     int64                 `json:"skipped,omitempty"`
 	Gen         map[int]int64         `json:"gen,omitempty"`
@@ -160,6 +222,7 @@ type trafficStats struct {
 	Messages  int64 `json:"messages,omitempty"`
 	Stale     int64 `json:"stale,omitempty"`
 	MaxDepth  int64 `json:"max_depth,omitempty"`
+	HBMisses  int64 `json:"hb_misses,omitempty"`
 }
 
 // errMeshDown marks a failed mesh establishment whose cause was a peer
@@ -214,6 +277,15 @@ type procState struct {
 	faults   *tcp.FaultState
 	byID     map[int]Tile
 	sinks    []*fencedRankSink // local ranks, indexed rank-lo
+
+	// cum is this process's cumulative per-(rank, tile) stored prefixes
+	// across all attempts — the durable truth a worker announces in its
+	// join message after every control (re)dial, and the floor under
+	// every fence it accepts from the head. It is what keeps delivery
+	// exactly-once across a head generation change: a respawned head's
+	// ledger may lag the worker's shards, but the worker never fences
+	// below what it already stored.
+	cum map[int]map[int]int64
 }
 
 func newProcState(cc ClusterConfig, cfg Config) *procState {
@@ -238,10 +310,26 @@ func newProcState(cc ClusterConfig, cfg Config) *procState {
 		ps.faults = tcp.NewFaultState(cfg.Faults.TCP)
 	}
 	ps.sinks = make([]*fencedRankSink, p.Hi-p.Lo)
+	ps.cum = make(map[int]map[int]int64, p.Hi-p.Lo)
 	for i := range ps.sinks {
 		ps.sinks[i] = &fencedRankSink{rank: p.Lo + i, curTile: -1}
+		ps.cum[p.Lo+i] = make(map[int]int64)
 	}
 	return ps
+}
+
+// joinMsg is the worker's opening announcement on every control
+// (re)connect: its cumulative stored prefixes, absolute.
+func (ps *procState) joinMsg() ctrlMsg {
+	m := ctrlMsg{Kind: ctrlJoin, Stored: make(map[int]map[int]int64, len(ps.cum))}
+	for rk, tiles := range ps.cum {
+		cp := make(map[int]int64, len(tiles))
+		for id, n := range tiles {
+			cp[id] = n
+		}
+		m.Stored[rk] = cp
+	}
+	return m
 }
 
 func (ps *procState) sinkFor(rk *Rank) (attemptSink, error) {
@@ -287,9 +375,18 @@ func (ps *procState) attempt(ctx context.Context, epoch int64, assigned [][]Tile
 		return rep
 	}
 	for i, f := range ps.sinks {
-		f.skip = make(map[int]int64, len(skip[ps.lo+i]))
-		for id, n := range skip[ps.lo+i] {
+		rk := ps.lo + i
+		f.skip = make(map[int]int64, len(skip[rk]))
+		for id, n := range skip[rk] {
 			f.skip[id] = n
+		}
+		// Fence floor: never below what this process already stored. A
+		// head generation whose ledger lagged the shards can only ask for
+		// too little suppression; the local cumulative count corrects it.
+		for id, c := range ps.cum[rk] {
+			if c > f.skip[id] {
+				f.skip[id] = c
+			}
 		}
 		f.stored = make(map[int]int64)
 		f.skipped = 0
@@ -299,6 +396,8 @@ func (ps *procState) attempt(ctx context.Context, epoch int64, assigned [][]Tile
 	tr, err := tcp.Connect(ctx, ps.cc.Node, tcp.Config{
 		Procs: ps.cc.Procs, Self: ps.cc.Self, PlanHash: ps.planHash,
 		Pool: pool, Faults: ps.faults, DialTimeout: ps.cc.DialTimeout,
+		HeartbeatInterval: ps.cc.heartbeatInterval(),
+		HeartbeatDeadline: ps.cc.heartbeatDeadline(),
 	}, epoch)
 	if err != nil {
 		// A peer that is down during mesh establishment is the same
@@ -333,6 +432,7 @@ func (ps *procState) attempt(ctx context.Context, epoch int64, assigned [][]Tile
 		for id, n := range f.stored {
 			if n > 0 {
 				m[id] = n
+				ps.cum[rk][id] += n
 			}
 		}
 		rep.Stored[rk] = m
@@ -344,6 +444,7 @@ func (ps *procState) attempt(ctx context.Context, epoch int64, assigned [][]Tile
 		Generated: st.EdgesGenerated, Routed: st.EdgesRouted,
 		Bytes: st.BytesSent, Messages: st.Messages,
 		Stale: st.StaleBatches + tr.StaleFrames(), MaxDepth: st.MaxInboxDepth,
+		HBMisses: tr.HeartbeatMisses(),
 	}
 	// Drain inbox residue back to the pool before the mesh dies, then
 	// tear it down — the next attempt builds a fresh one at its epoch.
@@ -381,6 +482,7 @@ func foldReport(agg *Stats, rep *ctrlMsg) {
 	if rep.Traffic.MaxDepth > agg.MaxInboxDepth {
 		agg.MaxInboxDepth = rep.Traffic.MaxDepth
 	}
+	agg.HeartbeatMisses += rep.Traffic.HBMisses
 	agg.DuplicatesSkipped += rep.Skipped
 	for rk, n := range rep.Gen {
 		agg.PerRankGenerated[rk] += n
@@ -416,21 +518,90 @@ func RunCluster(ctx context.Context, cc ClusterConfig, cfg Config) (Stats, error
 	return runClusterWorker(ctx, ps)
 }
 
+// sleepJitter sleeps an exponentially growing, jittered backoff (retry
+// counts from 1): base·2^(retry-1), capped at maxBackoff, scaled by a
+// uniform factor in [0.5, 1.5) so a whole cluster of workers re-dialing
+// a respawned head doesn't arrive as a thundering herd.
+func sleepJitter(ctx context.Context, rng *rand.Rand, base time.Duration, retry int) error {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << (retry - 1)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	d = time.Duration(float64(d) * (0.5 + rng.Float64()))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
 // runClusterWorker is the non-head process loop: obey begin/done from
-// the head until the run concludes. The head dying mid-run is a loud
-// failure — a worker must never hang on a silent cluster.
+// the head until the run concludes. A broken head control link is no
+// longer terminal: the worker parks with its sinks open and re-dials
+// under the HeadRetries budget — jittered exponential backoff — opening
+// each (re)connection with a join message that announces its cumulative
+// stored prefixes. A head that never comes back exhausts the budget and
+// fails loudly; a worker must never hang on a silent cluster.
 func runClusterWorker(ctx context.Context, ps *procState) (Stats, error) {
-	cc, err := tcp.DialControl(ctx, ps.cc.Procs[0].Addr, ps.cc.Self, ps.planHash)
+	rng := rand.New(rand.NewSource(int64(ps.planHash) ^ int64(ps.cc.Self)<<32 ^ time.Now().UnixNano()))
+	dial := func() (*tcp.CtrlConn, error) {
+		dctx, cancel := context.WithTimeout(ctx, ps.cc.dialTimeout())
+		defer cancel()
+		cc, err := tcp.DialControl(dctx, ps.cc.Procs[0].Addr, ps.cc.Self, ps.planHash, ps.cc.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		cc.StartHeartbeat(ps.cc.heartbeatInterval(), ps.cc.heartbeatDeadline())
+		if err := cc.Send(ps.joinMsg()); err != nil {
+			cc.Close()
+			return nil, err
+		}
+		return cc, nil
+	}
+	cc, err := dial()
 	if err != nil {
 		return Stats{}, fmt.Errorf("dist: worker %d joining head: %w", ps.cc.Self, err)
 	}
-	defer cc.Close()
+	defer func() { cc.Close() }()
 	agg := Stats{PerRankGenerated: make([]int64, ps.r), PerRankStored: make([]int64, ps.r)}
+	redials := 0
+	// park re-dials the head after a control-link break, consuming the
+	// budget; on success the loop continues with the fresh connection
+	// (whose join already told the new head generation where we stand).
+	park := func(cause error) error {
+		cc.Close()
+		for {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			if redials >= ps.cc.HeadRetries {
+				return cause
+			}
+			redials++
+			if err := sleepJitter(ctx, rng, ps.cfg.Backoff, redials); err != nil {
+				return err
+			}
+			ncc, err := dial()
+			if err != nil {
+				cause = err
+				continue
+			}
+			cc = ncc
+			return nil
+		}
+	}
 	for {
 		var m ctrlMsg
 		if err := cc.Recv(ctx, &m); err != nil {
-			_ = ps.finalize()
-			return agg, fmt.Errorf("dist: worker %d lost head control link: %w", ps.cc.Self, err)
+			if perr := park(err); perr != nil {
+				_ = ps.finalize()
+				return agg, fmt.Errorf("dist: worker %d lost head control link: %w", ps.cc.Self, perr)
+			}
+			continue
 		}
 		switch m.Kind {
 		case ctrlBegin:
@@ -443,8 +614,13 @@ func runClusterWorker(ctx context.Context, ps *procState) (Stats, error) {
 			}
 			foldReport(&agg, &rep)
 			if err := cc.Send(rep); err != nil {
-				ps.finalize()
-				return agg, fmt.Errorf("dist: worker %d reporting to head: %w", ps.cc.Self, err)
+				// The head died before taking the report. The stored edges
+				// are safe on disk and in ps.cum; re-dial and let the next
+				// head generation reassign from our join.
+				if perr := park(err); perr != nil {
+					ps.finalize()
+					return agg, fmt.Errorf("dist: worker %d reporting to head: %w", ps.cc.Self, perr)
+				}
 			}
 		case ctrlDone:
 			ferr := ps.finalize()
@@ -460,11 +636,169 @@ func runClusterWorker(ctx context.Context, ps *procState) (Stats, error) {
 	}
 }
 
+// configDigest fingerprints the run configuration beyond the plan —
+// layout, routing mode, batch size — for the ledger's identity record:
+// resuming a ledger written under a different configuration must refuse,
+// not silently mix accounting regimes.
+func (ps *procState) configDigest() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	w(int64(len(ps.cc.Procs)))
+	for _, p := range ps.cc.Procs {
+		w(int64(p.Lo))
+		w(int64(p.Hi))
+	}
+	if ps.cfg.Owner != nil {
+		w(1)
+	} else {
+		w(0)
+	}
+	w(int64(ps.cfg.batchSize()))
+	return h.Sum64()
+}
+
+// ledgerRotateBytes triggers compaction of the head's ledger: past this
+// size the file is atomically replaced by a snapshot of the live table.
+const ledgerRotateBytes = 1 << 20
+
 // runClusterHead is the supervising process: it owns the checkpoint
 // table, drives attempts over the control connections, participates in
 // each attempt with its own rank range, and decides the run's outcome.
+// With a ledger armed, every state change is journaled durably, and a
+// respawned head resumes from the replayed table instead of restarting.
 func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
 	n := len(ps.cc.Procs)
+
+	// The checkpoint table, exactly the in-process supervisor's, but
+	// per-proc instead of per-goroutine on the recovery side.
+	var tiles []*tileState
+	byID := make(map[int]*tileState)
+	for rk, ts := range ps.cfg.Plan.Tiles {
+		for _, t := range ts {
+			st := &tileState{tile: t, owner: rk, stored: make([]int64, ps.r)}
+			tiles = append(tiles, st)
+			byID[t.ID] = st
+		}
+	}
+
+	// Durable run ledger (optional): replay, validate identity, seed the
+	// table, open the next head generation.
+	var led *ledger.Ledger
+	headGen, epochBase := int64(1), int64(0)
+	if path := ps.cc.LedgerPath; path != "" {
+		l, lst, err := ledger.Open(path)
+		if err != nil {
+			return Stats{}, fmt.Errorf("dist: head ledger %s: %w", path, err)
+		}
+		digest := ps.configDigest()
+		if lst.Identity != nil {
+			if lst.Identity.PlanHash != ps.planHash || lst.Identity.Digest != digest ||
+				lst.Identity.Procs != n || lst.Identity.Ranks != ps.r {
+				l.Close()
+				return Stats{}, fmt.Errorf("%w: %s holds plan %016x cfg %016x (%d procs, %d ranks); this run is plan %016x cfg %016x (%d procs, %d ranks)",
+					ledger.ErrIdentity, path,
+					lst.Identity.PlanHash, lst.Identity.Digest, lst.Identity.Procs, lst.Identity.Ranks,
+					ps.planHash, digest, n, ps.r)
+			}
+			// Resume: the replayed prefixes seed the table. The head's own
+			// ranks are zeroed — this process's ShardWriters truncate their
+			// shards on open, so whatever the dead generation stored at
+			// them is gone. Workers' rows are provisional until their joins
+			// overwrite them with the live truth.
+			for _, ts := range tiles {
+				for rk, cnt := range lst.Stored[ts.tile.ID] {
+					if rk >= 0 && rk < ps.r {
+						ts.stored[rk] = cnt
+					}
+				}
+				for rk := ps.lo; rk < ps.hi; rk++ {
+					ts.stored[rk] = 0
+				}
+			}
+		} else {
+			if err := l.Append(ledger.Record{Kind: ledger.KindIdentity,
+				PlanHash: ps.planHash, Digest: digest, Procs: n, Ranks: ps.r}); err != nil {
+				l.Close()
+				return Stats{}, fmt.Errorf("dist: head ledger %s: %w", path, err)
+			}
+		}
+		headGen = lst.Gen + 1
+		epochBase = lst.LastEpoch + 1
+		lerr := l.Append(ledger.Record{Kind: ledger.KindGen, Gen: headGen})
+		if lerr == nil {
+			lerr = l.Commit()
+		}
+		if lerr != nil {
+			l.Close()
+			return Stats{}, fmt.Errorf("dist: head ledger %s: %w", path, lerr)
+		}
+		led = l
+		defer led.Close()
+	}
+	// logged mirrors what the ledger already holds, so each attempt
+	// journals only the (tile, rank) prefixes and commitments that moved.
+	logged := make(map[int][]int64, len(tiles))
+	loggedCommit := make(map[int]bool, len(tiles))
+	if led != nil {
+		for _, ts := range tiles {
+			logged[ts.tile.ID] = append([]int64(nil), ts.stored...)
+		}
+	}
+	logState := func(lastEpoch int64) error {
+		if led == nil {
+			return nil
+		}
+		for _, ts := range tiles {
+			id := ts.tile.ID
+			for rk, cnt := range ts.stored {
+				if logged[id][rk] != cnt {
+					if err := led.Append(ledger.Record{Kind: ledger.KindStored, Tile: id, Rank: rk, Count: cnt}); err != nil {
+						return err
+					}
+					logged[id][rk] = cnt
+				}
+			}
+			if loggedCommit[id] != ts.committed {
+				if err := led.Append(ledger.Record{Kind: ledger.KindCommit, Tile: id, On: ts.committed}); err != nil {
+					return err
+				}
+				loggedCommit[id] = ts.committed
+			}
+		}
+		if err := led.Commit(); err != nil {
+			return err
+		}
+		if led.Size() > ledgerRotateBytes {
+			st := ledger.State{
+				Identity: &ledger.Record{Kind: ledger.KindIdentity,
+					PlanHash: ps.planHash, Digest: ps.configDigest(), Procs: n, Ranks: ps.r},
+				Gen: headGen, LastEpoch: lastEpoch,
+				Stored:    make(map[int]map[int]int64, len(tiles)),
+				Committed: make(map[int]bool, len(tiles)),
+			}
+			for _, ts := range tiles {
+				m := make(map[int]int64)
+				for rk, cnt := range ts.stored {
+					if cnt != 0 {
+						m[rk] = cnt
+					}
+				}
+				st.Stored[ts.tile.ID] = m
+				if ts.committed {
+					st.Committed[ts.tile.ID] = true
+				}
+			}
+			if err := led.Rotate(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	conns := make([]*tcp.CtrlConn, n)
 	defer func() {
 		for _, cc := range conns {
@@ -473,9 +807,32 @@ func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
 			}
 		}
 	}()
+	// applyJoin folds a worker's announced cumulative prefixes into the
+	// table as ground truth for that proc's ranks: zero the rows (a fresh
+	// respawn's truncated shards really hold nothing), then overwrite
+	// with the announced absolutes.
+	applyJoin := func(peer int, jm *ctrlMsg) {
+		pr := ps.cc.Procs[peer]
+		for _, ts := range tiles {
+			for d := pr.Lo; d < pr.Hi; d++ {
+				ts.stored[d] = 0
+			}
+		}
+		for rk, m := range jm.Stored {
+			if rk < pr.Lo || rk >= pr.Hi {
+				continue // a worker only speaks for its own ranks
+			}
+			for id, cnt := range m {
+				if st := byID[id]; st != nil {
+					st.stored[rk] = cnt
+				}
+			}
+		}
+	}
 	// ensureWorkers blocks until every worker has a live control
-	// connection — at startup, and again after a death while the
-	// external supervisor (script, orchestrator) respawns the process.
+	// connection that has completed its join — at startup, and again
+	// after a death while the external supervisor (script, orchestrator)
+	// respawns the process.
 	ensureWorkers := func() error {
 		for {
 			missing := false
@@ -495,6 +852,16 @@ func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
 				cc.Close()
 				continue
 			}
+			cc.StartHeartbeat(ps.cc.heartbeatInterval(), ps.cc.heartbeatDeadline())
+			jctx, cancel := context.WithTimeout(ctx, ps.cc.reportTimeout())
+			var jm ctrlMsg
+			jerr := cc.Recv(jctx, &jm)
+			cancel()
+			if jerr != nil || jm.Kind != ctrlJoin {
+				cc.Close()
+				continue
+			}
+			applyJoin(cc.Peer, &jm)
 			if old := conns[cc.Peer]; old != nil {
 				old.Close() // superseded by a redial
 			}
@@ -502,28 +869,24 @@ func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
 		}
 	}
 
-	// The checkpoint table, exactly the in-process supervisor's, but
-	// per-proc instead of per-goroutine on the recovery side.
-	var tiles []*tileState
-	byID := make(map[int]*tileState)
-	for rk, ts := range ps.cfg.Plan.Tiles {
-		for _, t := range ts {
-			st := &tileState{tile: t, owner: rk, stored: make([]int64, ps.r)}
-			tiles = append(tiles, st)
-			byID[t.ID] = st
-		}
-	}
 	routed := ps.cfg.Owner != nil
 	agg := Stats{
 		PerRankGenerated: make([]int64, ps.r),
 		PerRankStored:    make([]int64, ps.r),
 		RetriesPerRank:   make([]int64, ps.r),
+		HeadGeneration:   headGen,
 	}
 	var runErr error
 	for attempt := 0; ; attempt++ {
 		if err := ensureWorkers(); err != nil {
 			runErr = err
 			break
+		}
+		// Commitment is recomputed, never sticky: joins may have zeroed a
+		// respawned proc's rows since the last check, un-committing tiles
+		// whose edges lived there.
+		for _, ts := range tiles {
+			ts.committed = ts.storedTotal() == ts.tile.Arcs()
 		}
 		// Assignment: every uncommitted tile at its owner, with the skip
 		// prefixes recovery fencing needs at each destination.
@@ -550,7 +913,20 @@ func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
 				addSkip(ts.owner, ts.tile.ID, cnt)
 			}
 		}
-		epoch := int64(attempt)
+		epoch := epochBase + int64(attempt)
+		agg.LastEpoch = epoch
+		// The epoch transition goes durable before any worker acts at it,
+		// so a head respawned after this instant resumes strictly above it.
+		if led != nil {
+			lerr := led.Append(ledger.Record{Kind: ledger.KindEpoch, Epoch: epoch})
+			if lerr == nil {
+				lerr = logState(epoch)
+			}
+			if lerr != nil {
+				runErr = fmt.Errorf("dist: head ledger: %w", lerr)
+				break
+			}
+		}
 		begin := ctrlMsg{Kind: ctrlBegin, Epoch: epoch, Tiles: assignIDs, Skip: skip}
 		for p := 1; p < n; p++ {
 			if err := conns[p].Send(begin); err != nil {
@@ -632,8 +1008,16 @@ func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
 		for _, ts := range tiles {
 			ts.committed = ts.storedTotal() == ts.tile.Arcs()
 		}
+		// The harvest goes durable — stored prefixes and commitment flips
+		// — before the outcome is decided, so a head death from here on
+		// costs at most the joins' worth of re-announcement, never a
+		// committed tile.
+		if err := logState(epoch); err != nil {
+			runErr = fmt.Errorf("dist: head ledger: %w", err)
+			break
+		}
 		if ok {
-			if attempt > 0 {
+			if attempt > 0 || headGen > 1 {
 				agg.RecoveredRuns = 1
 			}
 			break
@@ -687,6 +1071,18 @@ func runClusterHead(ctx context.Context, ps *procState) (Stats, error) {
 	if ferr := ps.finalize(); runErr == nil {
 		runErr = ferr
 	}
+	if led != nil {
+		rec := ledger.Record{Kind: ledger.KindDone}
+		if runErr != nil {
+			rec.Err = runErr.Error()
+		}
+		if err := led.Append(rec); err == nil {
+			err = led.Commit()
+			if err != nil && runErr == nil {
+				runErr = fmt.Errorf("dist: head ledger: %w", err)
+			}
+		}
+	}
 	return agg, runErr
 }
 
@@ -721,6 +1117,14 @@ func GenerateChainClusterToStore(ctx context.Context, ch *core.Chain, dir string
 // processes sliced at different positions refuses to form instead of
 // silently mixing windows.
 func GenerateChainClusterToStoreFrom(ctx context.Context, ch *core.Chain, dir string, twoD bool, offset, limit int64, cc ClusterConfig, rec Recovery) (*store.Store, Stats, error) {
+	return GenerateChainClusterToStoreOpts(ctx, ch, dir, twoD, offset, limit, cc, rec, nil)
+}
+
+// GenerateChainClusterToStoreOpts is GenerateChainClusterToStoreFrom
+// with an optional fault plan — the chaos suites' and the smoke
+// script's entry point for arming this process's TCP fault schedule
+// (kill, reset, partition) on a real cluster run.
+func GenerateChainClusterToStoreOpts(ctx context.Context, ch *core.Chain, dir string, twoD bool, offset, limit int64, cc ClusterConfig, rec Recovery, faults *FaultPlan) (*store.Store, Stats, error) {
 	r := cc.Procs[len(cc.Procs)-1].Hi
 	plan, err := sliceForChain(ch, r, twoD, offset, limit)
 	if err != nil {
@@ -731,6 +1135,7 @@ func GenerateChainClusterToStoreFrom(ctx context.Context, ch *core.Chain, dir st
 		Owner:    OwnerBySource,
 		Sink:     NewStoreSink(dir, r),
 		Recovery: rec,
+		Faults:   faults,
 	}
 	st, err := RunCluster(ctx, cc, cfg)
 	if err != nil {

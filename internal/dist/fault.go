@@ -162,6 +162,24 @@ type FaultPlan struct {
 	// Crashes schedules any number of rank deaths (see CrashSpec).
 	Crashes []CrashSpec
 
+	// PartitionRank and PartitionAfterSends schedule a simulated network
+	// partition on the in-process transport: after the cluster's
+	// PartitionAfterSends-th cross-rank delivery attempt, PartitionRank
+	// is black-holed — its traffic silently discarded with every channel
+	// still open — so only a failure detector can surface it. Zero
+	// PartitionAfterSends disables the fault. The partition is one-shot
+	// lifetime state like the lose window: it does not re-fire after
+	// Reset, and Reset heals the network, so a supervised replay runs on
+	// an intact cluster (the partition "healed" before the retry).
+	PartitionRank       int
+	PartitionAfterSends int64
+
+	// FDInterval and FDDeadline configure the failure detector armed
+	// alongside a scheduled partition (zero values: 2ms interval, 5×
+	// deadline) — the in-process stand-in for cluster mode's heartbeats.
+	FDInterval time.Duration
+	FDDeadline time.Duration
+
 	// TCP schedules wire-level faults for cluster mode (RunCluster): dial
 	// delays, mid-exchange connection resets, torn frames and whole-process
 	// kills, applied by the TCP transport of the process whose FaultPlan
@@ -186,6 +204,13 @@ type faultState struct {
 	rngs      []*rand.Rand
 	crashLeft []int64 // atomic countdowns, one per spec; lifetime state
 	loseSeq   int64   // atomic cross-rank delivery sequence; lifetime state
+
+	// partition, when non-nil, black-holes a rank on the armed transport
+	// (wired by Cluster.InjectFaults when the transport supports it).
+	// partSeq counts cross-rank delivery attempts toward the scheduled
+	// partition; lifetime state, so the fault fires exactly once.
+	partition func(rank int)
+	partSeq   int64
 }
 
 func newFaultState(plan FaultPlan, r int) *faultState {
@@ -242,6 +267,11 @@ func (s *faultState) linkFor(from, to int) LinkFault {
 // then drop/redelivery. It reports whether delivery should proceed; a
 // non-nil error is a permanent loss.
 func (s *faultState) deliver(ctx context.Context, from, to int) (bool, error) {
+	if s.plan.PartitionAfterSends > 0 && s.partition != nil {
+		if seq := atomic.AddInt64(&s.partSeq, 1); seq == s.plan.PartitionAfterSends {
+			s.partition(s.plan.PartitionRank)
+		}
+	}
 	if s.plan.LoseDeliveries > 0 {
 		seq := atomic.AddInt64(&s.loseSeq, 1)
 		if seq > s.plan.LoseAfter && seq <= s.plan.LoseAfter+s.plan.LoseDeliveries {

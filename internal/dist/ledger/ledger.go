@@ -1,0 +1,431 @@
+// Package ledger is the head's durable run log: an append-only,
+// per-record-checksummed file that records everything cluster-mode
+// supervision must not lose with the supervising process — the run's
+// identity (plan hash and config digest), head generations, epoch
+// transitions, per-(tile, rank) stored prefixes and tile commitments. A
+// respawned head replays the ledger, validates that it is resuming the
+// same run, and reconstructs the checkpoint table instead of discarding
+// every committed tile with the old process's memory.
+//
+// Durability posture:
+//
+//   - Records are framed [len u32][crc32c u32][body], little-endian,
+//     with the CRC (Castagnoli) over the body. Append buffers; Commit
+//     flushes and fsyncs — the head commits at every state change whose
+//     loss would be unrecoverable (generation open, epoch start,
+//     harvest, conclusion).
+//   - Replay tolerates a torn tail: a final record whose bytes end
+//     early (the classic crash-mid-write artifact) is dropped and the
+//     file is truncated back to the last whole record on reopen. A
+//     record whose bytes are all present but whose checksum does not
+//     match is NOT tolerated — that is corruption, and replay refuses
+//     it loudly rather than resuming from a silently wrong table.
+//   - Rotation is atomic: a compacted snapshot is written to a temp
+//     file, fsynced, and renamed over the live path, so the ledger
+//     never grows without bound and a crash mid-rotation leaves either
+//     the old file or the new one, never a hybrid.
+//
+// Counts in stored records are absolute, not deltas: replay keeps the
+// last value per (tile, rank), which makes rewriting a prefix after
+// compaction or a re-harvest idempotent.
+package ledger
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Record kinds.
+const (
+	KindIdentity = "identity" // run identity: plan hash, config digest, layout
+	KindGen      = "gen"      // a head generation opened the ledger
+	KindEpoch    = "epoch"    // an attempt epoch began
+	KindStored   = "stored"   // absolute stored prefix for one (tile, rank)
+	KindCommit   = "commit"   // a tile's commitment flipped (On = new state)
+	KindDone     = "done"     // the run concluded (Err empty on success)
+)
+
+// Record is one ledger entry. Fields are kind-discriminated; unused
+// fields stay at their zero value and are omitted from the encoding.
+type Record struct {
+	Kind string `json:"k"`
+
+	// identity
+	PlanHash uint64 `json:"ph,omitempty"`
+	Digest   uint64 `json:"cd,omitempty"`
+	Procs    int    `json:"np,omitempty"`
+	Ranks    int    `json:"nr,omitempty"`
+
+	Gen   int64 `json:"g,omitempty"` // gen
+	Epoch int64 `json:"e,omitempty"` // epoch
+
+	// stored / commit
+	Tile  int   `json:"t,omitempty"`
+	Rank  int   `json:"r,omitempty"`
+	Count int64 `json:"n,omitempty"`
+	On    bool  `json:"on,omitempty"`
+
+	Err string `json:"err,omitempty"` // done
+}
+
+// State is the fold of a ledger's records: everything a respawned head
+// needs to resume supervision.
+type State struct {
+	Identity  *Record               // nil until an identity record exists
+	Gen       int64                 // highest head generation recorded
+	LastEpoch int64                 // highest epoch recorded; -1 before any
+	Stored    map[int]map[int]int64 // tile → rank → absolute stored prefix
+	Committed map[int]bool          // tile → committed
+	Done      bool
+	DoneErr   string
+	TornTail  bool // a torn final record was dropped during replay
+}
+
+func emptyState() State {
+	return State{
+		LastEpoch: -1,
+		Stored:    make(map[int]map[int]int64),
+		Committed: make(map[int]bool),
+	}
+}
+
+// CommittedTiles returns the sorted IDs of committed tiles.
+func (st State) CommittedTiles() []int {
+	ids := make([]int, 0, len(st.Committed))
+	for id, on := range st.Committed {
+		if on {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (st *State) fold(rec Record) {
+	switch rec.Kind {
+	case KindIdentity:
+		r := rec
+		st.Identity = &r
+	case KindGen:
+		if rec.Gen > st.Gen {
+			st.Gen = rec.Gen
+		}
+	case KindEpoch:
+		if rec.Epoch > st.LastEpoch {
+			st.LastEpoch = rec.Epoch
+		}
+	case KindStored:
+		m := st.Stored[rec.Tile]
+		if m == nil {
+			m = make(map[int]int64)
+			st.Stored[rec.Tile] = m
+		}
+		m[rec.Rank] = rec.Count
+	case KindCommit:
+		st.Committed[rec.Tile] = rec.On
+	case KindDone:
+		st.Done = true
+		st.DoneErr = rec.Err
+	}
+	// Unknown kinds are skipped: a newer writer's record types must not
+	// brick an older reader's replay (the checksum already vouched for
+	// the bytes).
+}
+
+// ErrCorrupt reports a record whose bytes are fully present but fail
+// their checksum (or decode) — unlike a torn tail, this is not a crash
+// artifact and replay refuses to continue past it.
+var ErrCorrupt = errors.New("ledger: corrupt record")
+
+// ErrIdentity reports an identity mismatch on resume: the ledger at the
+// path belongs to a different run.
+var ErrIdentity = errors.New("ledger: run identity mismatch")
+
+// fileMagic opens every ledger file; a file that starts with anything
+// else is not a ledger and is refused rather than misparsed.
+var fileMagic = []byte("KRONLDG1")
+
+// maxRecord bounds one record's body so a corrupt length field cannot
+// make replay allocate gigabytes.
+const maxRecord = 1 << 20
+
+// castagnoli is the CRC32C table (the checksum SSE4.2 accelerates).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const frameHeader = 8 // len u32 + crc u32
+
+// ReplayBytes folds a ledger image into a State. It returns the number
+// of bytes that form whole, valid records (including the file magic):
+// a torn final record is excluded from that count and flagged in
+// State.TornTail; a checksum-corrupt record aborts with ErrCorrupt. It
+// never panics on arbitrary input — the fuzz target holds it to that.
+func ReplayBytes(data []byte) (State, int, error) {
+	st := emptyState()
+	if len(data) == 0 {
+		return st, 0, nil
+	}
+	if len(data) < len(fileMagic) {
+		// A torn write of the magic itself: an empty ledger.
+		st.TornTail = true
+		return st, 0, nil
+	}
+	if string(data[:len(fileMagic)]) != string(fileMagic) {
+		return st, 0, fmt.Errorf("%w: bad file magic", ErrCorrupt)
+	}
+	off := len(fileMagic)
+	for off < len(data) {
+		rem := len(data) - off
+		if rem < frameHeader {
+			st.TornTail = true
+			return st, off, nil
+		}
+		ln := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if ln > maxRecord {
+			return st, off, fmt.Errorf("%w: record length %d exceeds %d", ErrCorrupt, ln, maxRecord)
+		}
+		if rem-frameHeader < int(ln) {
+			// The declared body extends past EOF: a torn final record.
+			st.TornTail = true
+			return st, off, nil
+		}
+		body := data[off+frameHeader : off+frameHeader+int(ln)]
+		if crc32.Checksum(body, castagnoli) != crc {
+			return st, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return st, off, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrCorrupt, off, err)
+		}
+		st.fold(rec)
+		off += frameHeader + int(ln)
+	}
+	return st, off, nil
+}
+
+// Replay reads and folds the ledger at path. A missing file is an empty
+// state, not an error — the caller distinguishes "fresh run" from
+// "resume" by State.Identity.
+func Replay(path string) (State, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return emptyState(), nil
+	}
+	if err != nil {
+		return emptyState(), err
+	}
+	st, _, err := ReplayBytes(data)
+	return st, err
+}
+
+// Ledger is the append side: one writer (the head), buffered appends,
+// explicit Commit (flush + fsync) at state-change boundaries.
+type Ledger struct {
+	path string
+	f    *os.File
+	size int64
+	buf  []byte // pending appended frames, flushed by Commit
+}
+
+// Open replays the ledger at path (creating it if absent), truncates a
+// torn tail back to the last whole record, and returns the ledger
+// positioned for appending plus the replayed state. Corruption and I/O
+// errors are returned loudly; the caller decides whether a non-empty
+// state is the run it expects (see State.Identity and ErrIdentity).
+func Open(path string) (*Ledger, State, error) {
+	data, err := os.ReadFile(path)
+	fresh := errors.Is(err, os.ErrNotExist)
+	if err != nil && !fresh {
+		return nil, emptyState(), err
+	}
+	st := emptyState()
+	valid := 0
+	if !fresh {
+		st, valid, err = ReplayBytes(data)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, st, err
+	}
+	l := &Ledger{path: path, f: f, size: int64(valid)}
+	if fresh || valid == 0 {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, st, err
+		}
+		if _, err := f.WriteAt(fileMagic, 0); err != nil {
+			f.Close()
+			return nil, st, err
+		}
+		l.size = int64(len(fileMagic))
+	} else if int64(len(data)) != int64(valid) {
+		// Drop the torn tail so the next append starts at a record
+		// boundary instead of extending garbage.
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, st, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, st, err
+	}
+	return l, st, nil
+}
+
+// appendFrame encodes one record onto the pending buffer.
+func appendFrame(dst []byte, rec Record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return dst, err
+	}
+	if len(body) > maxRecord {
+		return dst, fmt.Errorf("ledger: record body %d bytes exceeds %d", len(body), maxRecord)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...), nil
+}
+
+// Append stages one record. It is not durable until Commit returns.
+func (l *Ledger) Append(rec Record) error {
+	buf, err := appendFrame(l.buf, rec)
+	if err != nil {
+		return err
+	}
+	l.buf = buf
+	return nil
+}
+
+// Commit writes every staged record at the end of the file and fsyncs.
+// A commit that fails leaves the staged records pending, so a retry (or
+// Close) gets another chance to land them.
+func (l *Ledger) Commit() error {
+	if len(l.buf) > 0 {
+		n, err := l.f.WriteAt(l.buf, l.size)
+		if err != nil {
+			// A short write leaves a torn tail — exactly what replay
+			// tolerates — but this process must not keep appending past it.
+			l.size += int64(n)
+			l.buf = nil
+			return err
+		}
+		l.size += int64(n)
+		l.buf = l.buf[:0]
+	}
+	return l.f.Sync()
+}
+
+// Size returns the durable file size plus staged bytes — the rotation
+// trigger's input.
+func (l *Ledger) Size() int64 { return l.size + int64(len(l.buf)) }
+
+// Close commits pending records and closes the file.
+func (l *Ledger) Close() error {
+	cerr := l.Commit()
+	if err := l.f.Close(); err != nil && cerr == nil {
+		cerr = err
+	}
+	return cerr
+}
+
+// Snapshot flattens a state into the minimal record sequence that
+// replays back to it — the compaction rotation writes.
+func Snapshot(st State) []Record {
+	var recs []Record
+	if st.Identity != nil {
+		id := *st.Identity
+		recs = append(recs, id)
+	}
+	if st.Gen > 0 {
+		recs = append(recs, Record{Kind: KindGen, Gen: st.Gen})
+	}
+	if st.LastEpoch >= 0 {
+		recs = append(recs, Record{Kind: KindEpoch, Epoch: st.LastEpoch})
+	}
+	tiles := make([]int, 0, len(st.Stored))
+	for id := range st.Stored {
+		tiles = append(tiles, id)
+	}
+	sort.Ints(tiles)
+	for _, id := range tiles {
+		ranks := make([]int, 0, len(st.Stored[id]))
+		for rk := range st.Stored[id] {
+			ranks = append(ranks, rk)
+		}
+		sort.Ints(ranks)
+		for _, rk := range ranks {
+			if n := st.Stored[id][rk]; n != 0 {
+				recs = append(recs, Record{Kind: KindStored, Tile: id, Rank: rk, Count: n})
+			}
+		}
+	}
+	for _, id := range st.CommittedTiles() {
+		recs = append(recs, Record{Kind: KindCommit, Tile: id, On: true})
+	}
+	return recs
+}
+
+// Rotate atomically replaces the ledger with a compacted snapshot of
+// st: write to a temp file in the same directory, fsync, rename over
+// the live path, fsync the directory. A crash at any point leaves
+// either the old complete ledger or the new one. Pending (uncommitted)
+// appends are discarded — rotate from the state that includes them.
+func (l *Ledger) Rotate(st State) error {
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".rotate-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	buf := append([]byte(nil), fileMagic...)
+	for _, rec := range Snapshot(st) {
+		if buf, err = appendFrame(buf, rec); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, l.path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	old := l.f
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	old.Close()
+	l.f = f
+	l.size = int64(len(buf))
+	l.buf = l.buf[:0]
+	return nil
+}

@@ -1,0 +1,335 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeLedger(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	l, st, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if st.Identity != nil {
+		t.Fatalf("fresh ledger has identity %+v", st.Identity)
+	}
+	for _, rec := range recs {
+		if err := l.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func sampleRun() []Record {
+	return []Record{
+		{Kind: KindIdentity, PlanHash: 0xfeedfacecafef00d, Digest: 42, Procs: 4, Ranks: 6},
+		{Kind: KindGen, Gen: 1},
+		{Kind: KindEpoch, Epoch: 0},
+		{Kind: KindStored, Tile: 0, Rank: 1, Count: 10},
+		{Kind: KindStored, Tile: 0, Rank: 2, Count: 7},
+		{Kind: KindCommit, Tile: 0, On: true},
+		{Kind: KindEpoch, Epoch: 1},
+		{Kind: KindStored, Tile: 3, Rank: 1, Count: 5},
+		// Absolute counts: the later record wins outright.
+		{Kind: KindStored, Tile: 3, Rank: 1, Count: 9},
+		{Kind: KindCommit, Tile: 3, On: true},
+		{Kind: KindCommit, Tile: 3, On: false},
+		{Kind: KindCommit, Tile: 5, On: true},
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ledger")
+	writeLedger(t, path, sampleRun())
+
+	st, err := Replay(path)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if st.Identity == nil || st.Identity.PlanHash != 0xfeedfacecafef00d || st.Identity.Digest != 42 {
+		t.Fatalf("identity not reconstructed: %+v", st.Identity)
+	}
+	if st.Gen != 1 || st.LastEpoch != 1 {
+		t.Fatalf("gen/epoch = %d/%d, want 1/1", st.Gen, st.LastEpoch)
+	}
+	if got := st.Stored[0][1]; got != 10 {
+		t.Fatalf("stored[0][1] = %d, want 10", got)
+	}
+	if got := st.Stored[3][1]; got != 9 {
+		t.Fatalf("stored[3][1] = %d, want 9 (last absolute value wins)", got)
+	}
+	if got := st.CommittedTiles(); !reflect.DeepEqual(got, []int{0, 5}) {
+		t.Fatalf("committed tiles = %v, want [0 5] (tile 3 was un-committed)", got)
+	}
+	if st.TornTail || st.Done {
+		t.Fatalf("unexpected torn/done: %+v", st)
+	}
+}
+
+func TestLedgerTornTailToleratedAndTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ledger")
+	writeLedger(t, path, sampleRun())
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the file mid-final-record at every possible torn length: the
+	// replay must drop exactly the final record and keep the rest.
+	full, _, err := ReplayBytes(whole)
+	if err != nil {
+		t.Fatalf("ReplayBytes(whole): %v", err)
+	}
+	start := lastRecordOffset(t, whole)
+	for cut := start + 1; cut < len(whole); cut++ {
+		st, valid, err := ReplayBytes(whole[:cut])
+		if err != nil {
+			t.Fatalf("cut=%d: torn tail rejected: %v", cut, err)
+		}
+		if !st.TornTail {
+			t.Fatalf("cut=%d: torn tail not flagged", cut)
+		}
+		if valid != start {
+			t.Fatalf("cut=%d: valid=%d, want %d", cut, valid, start)
+		}
+		// The final record was commit(5, on); without it tile 5 must not
+		// be committed while everything earlier survives.
+		if st.Committed[5] {
+			t.Fatalf("cut=%d: torn record leaked into state", cut)
+		}
+		if !st.Committed[0] || st.Gen != full.Gen {
+			t.Fatalf("cut=%d: earlier records lost: %+v", cut, st)
+		}
+	}
+
+	// Open() must truncate the torn tail and resume appendable.
+	cut := (start + len(whole)) / 2
+	if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, st, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(torn): %v", err)
+	}
+	if !st.TornTail {
+		t.Fatal("Open(torn): tail not flagged")
+	}
+	if err := l.Append(Record{Kind: KindDone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Replay(path)
+	if err != nil {
+		t.Fatalf("Replay after torn reopen: %v", err)
+	}
+	if !st2.Done || st2.TornTail || st2.Committed[5] {
+		t.Fatalf("post-truncate state wrong: %+v", st2)
+	}
+}
+
+// lastRecordOffset returns the byte offset of the final record's frame.
+func lastRecordOffset(t *testing.T, data []byte) int {
+	t.Helper()
+	off := len(fileMagic)
+	last := off
+	for off < len(data) {
+		last = off
+		ln := int(binary.LittleEndian.Uint32(data[off:]))
+		off += frameHeader + ln
+	}
+	if off != len(data) {
+		t.Fatalf("ledger not whole: off=%d len=%d", off, len(data))
+	}
+	return last
+}
+
+func TestLedgerCorruptionRefusedLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ledger")
+	writeLedger(t, path, sampleRun())
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one body byte in a middle record: full-length, bad CRC.
+	mid := len(fileMagic) + frameHeader + 3
+	corrupt := append([]byte(nil), whole...)
+	corrupt[mid] ^= 0x40
+	if _, _, err := ReplayBytes(corrupt); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: err = %v, want ErrCorrupt", err)
+	}
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open(corrupt): err = %v, want ErrCorrupt", err)
+	}
+
+	// Bad magic is corruption, not emptiness.
+	bad := append([]byte(nil), whole...)
+	bad[0] = 'X'
+	if _, _, err := ReplayBytes(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	// An absurd length field must not allocate or be trusted.
+	huge := append([]byte(nil), whole[:len(fileMagic)]...)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], maxRecord+1)
+	huge = append(huge, hdr[:]...)
+	if _, _, err := ReplayBytes(huge); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLedgerRotateCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ledger")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRun() {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pile on redundant stored records so compaction has something to drop.
+	for i := 0; i < 100; i++ {
+		if err := l.Append(Record{Kind: KindStored, Tile: 0, Rank: 1, Count: int64(10 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := l.Size()
+
+	if err := l.Rotate(before); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if l.Size() >= sizeBefore {
+		t.Fatalf("rotation did not shrink: %d -> %d", sizeBefore, l.Size())
+	}
+	// The rotated ledger must replay to the same state and stay appendable.
+	after, err := Replay(path)
+	if err != nil {
+		t.Fatalf("Replay(rotated): %v", err)
+	}
+	if !reflect.DeepEqual(after.Stored, before.Stored) ||
+		!reflect.DeepEqual(after.CommittedTiles(), before.CommittedTiles()) ||
+		after.Gen != before.Gen || after.LastEpoch != before.LastEpoch {
+		t.Fatalf("rotation changed state:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if err := l.Append(Record{Kind: KindDone, Err: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done || final.DoneErr != "x" {
+		t.Fatalf("append after rotate lost: %+v", final)
+	}
+	// No rotate temp files may linger.
+	matches, _ := filepath.Glob(filepath.Join(filepath.Dir(path), "*.rotate-*"))
+	if len(matches) != 0 {
+		t.Fatalf("leftover rotation temp files: %v", matches)
+	}
+}
+
+func TestLedgerMissingFileIsEmpty(t *testing.T) {
+	st, err := Replay(filepath.Join(t.TempDir(), "absent.ledger"))
+	if err != nil {
+		t.Fatalf("Replay(missing): %v", err)
+	}
+	if st.Identity != nil || st.Gen != 0 || st.LastEpoch != -1 || len(st.Stored) != 0 {
+		t.Fatalf("missing file not empty: %+v", st)
+	}
+}
+
+func TestLedgerUnknownKindSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ledger")
+	writeLedger(t, path, []Record{
+		{Kind: KindGen, Gen: 3},
+		{Kind: "future-kind", Tile: 9},
+		{Kind: KindCommit, Tile: 1, On: true},
+	})
+	st, err := Replay(path)
+	if err != nil {
+		t.Fatalf("unknown kind broke replay: %v", err)
+	}
+	if st.Gen != 3 || !st.Committed[1] {
+		t.Fatalf("records around unknown kind lost: %+v", st)
+	}
+}
+
+func FuzzLedgerReplay(f *testing.F) {
+	// Seed with a real ledger image plus mutations of it.
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.ledger")
+	l, _, err := Open(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, rec := range sampleRun() {
+		if err := l.Append(rec); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(whole)
+	f.Add(whole[:len(whole)/2])
+	f.Add([]byte{})
+	f.Add([]byte("KRONLDG1"))
+	f.Add([]byte("not a ledger"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Never panics; valid-prefix length is always in range and on the
+		// error path points at the offending record.
+		st, valid, err := ReplayBytes(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid=%d out of range [0,%d]", valid, len(data))
+		}
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-corruption error from raw bytes: %v", err)
+			}
+			return
+		}
+		// A clean replay's valid prefix must itself replay cleanly to the
+		// same fold (minus the torn-tail flag, which the prefix lacks).
+		st2, valid2, err2 := ReplayBytes(data[:valid])
+		if err2 != nil || valid2 != valid {
+			t.Fatalf("valid prefix not idempotent: valid=%d err=%v", valid2, err2)
+		}
+		if !reflect.DeepEqual(st.Stored, st2.Stored) || !reflect.DeepEqual(st.Committed, st2.Committed) {
+			t.Fatalf("prefix replay diverged")
+		}
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"time"
 
+	"kronlab/internal/dist/transport"
 	"kronlab/internal/graph"
 )
 
@@ -277,7 +278,11 @@ func (s *supervision) finalize() error {
 }
 
 // classify splits run errors into recoverable faults with a blamed rank
-// (a crashed rank, or the sender of a lost message) and everything else.
+// (a crashed rank, the sender of a lost message, or a rank the failure
+// detector declared partitioned) and everything else. A PeerError is
+// recoverable because Reset heals the simulated partition — the replay
+// runs on an intact network, while the blamed rank's uncommitted tiles
+// are replayed exactly-once like any other fault's.
 func classify(err error) (int, bool) {
 	var rc *RankCrashError
 	if errors.As(err, &rc) {
@@ -286,6 +291,10 @@ func classify(err error) (int, bool) {
 	var ml *MessageLostError
 	if errors.As(err, &ml) {
 		return ml.From, true
+	}
+	var pe *transport.PeerError
+	if errors.As(err, &pe) {
+		return pe.Proc, true
 	}
 	return 0, false
 }

@@ -9,11 +9,20 @@ package chantransport
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kronlab/internal/dist/transport"
 )
+
+// ErrHeartbeat marks a failure-detection verdict: a partitioned rank
+// went silent past the armed deadline. It is always wrapped in a
+// *transport.PeerError naming the silent rank, mirroring the TCP
+// transport's heartbeat posture so callers handle both identically.
+var ErrHeartbeat = errors.New("chan: failure-detection deadline exceeded")
 
 // Transport is the in-process channel transport for r ranks.
 type Transport struct {
@@ -23,6 +32,29 @@ type Transport struct {
 	// maxDepth tracks the deepest observed inbox backlog, the
 	// simulated-cluster load metric surfaced as Stats.MaxInboxDepth.
 	maxDepth int64
+
+	// Partition simulation: a partitioned rank's traffic is silently
+	// black-holed — sends involving it "succeed" without delivering,
+	// with every channel still open — so, exactly as with a real
+	// network partition, only the failure detector can surface it.
+	partitioned []atomic.Bool
+	// voided holds black-holed batches so Reset can hand their pooled
+	// buffers back through release; a partition must not leak buffers.
+	voidMu sync.Mutex
+	voided []transport.Batch
+
+	// Failure detection (EnableFailureDetection): dead is closed — with
+	// deadErr, a *transport.PeerError, written first — when a
+	// partitioned rank stays silent past the deadline. Every blocking
+	// call selects on it, so a black-holed cluster fails loudly instead
+	// of hanging on channels that will never fill.
+	dead     chan struct{}
+	deadOnce sync.Once
+	deadErr  error
+	fdStop   chan struct{}
+	fdOnce   sync.Once
+	fdDone   chan struct{} // non-nil once a detector was started; closed on its exit
+	hbMisses int64
 
 	// Collective state: one accumulator and one generation channel,
 	// closed when the r-th rank arrives. total is written under mu
@@ -40,7 +72,10 @@ type Transport struct {
 // buffered (4r+16 batches) so the generate-then-drain pattern keeps
 // senders and receivers loosely coupled without unbounded memory.
 func New(r int) *Transport {
-	t := &Transport{r: r, inboxes: make([]chan transport.Batch, r), gen: make(chan struct{})}
+	t := &Transport{r: r, inboxes: make([]chan transport.Batch, r),
+		partitioned: make([]atomic.Bool, r),
+		dead:        make(chan struct{}), fdStop: make(chan struct{}),
+		gen: make(chan struct{})}
 	for i := range t.inboxes {
 		t.inboxes[i] = make(chan transport.Batch, 4*r+16)
 	}
@@ -59,8 +94,22 @@ func (t *Transport) Local() (lo, hi int) { return 0, t.r }
 // the sender are delivered through progress instead of spinning — the
 // inline progress that makes the all-to-all deadlock-free.
 func (t *Transport) SendBatch(ctx context.Context, b transport.Batch, progress func(transport.Batch)) error {
+	select {
+	case <-t.dead:
+		return t.deadErr
+	default:
+	}
 	if b.Dest == b.From {
 		progress(b)
+		return nil
+	}
+	if t.partitioned[b.From].Load() || t.partitioned[b.Dest].Load() {
+		// Black-hole: the send "succeeds" (the channel is open, the
+		// caller cannot tell) but nothing is delivered. The batch is
+		// parked for Reset so its pooled buffer is not leaked.
+		t.voidMu.Lock()
+		t.voided = append(t.voided, b)
+		t.voidMu.Unlock()
 		return nil
 	}
 	own := t.inboxes[b.From]
@@ -73,6 +122,8 @@ func (t *Transport) SendBatch(ctx context.Context, b transport.Batch, progress f
 			return nil
 		case m := <-own:
 			progress(m)
+		case <-t.dead:
+			return t.deadErr
 		case <-ctx.Done():
 			return context.Cause(ctx)
 		}
@@ -94,6 +145,8 @@ func (t *Transport) Recv(ctx context.Context, rank int) (transport.Batch, error)
 	select {
 	case b := <-t.inboxes[rank]:
 		return b, nil
+	case <-t.dead:
+		return transport.Batch{}, t.deadErr
 	case <-ctx.Done():
 		return transport.Batch{}, context.Cause(ctx)
 	}
@@ -133,6 +186,20 @@ func (t *Transport) collective(ctx context.Context, v int64) (int64, error) {
 	select {
 	case <-ch:
 		return t.total, nil
+	case <-t.dead:
+		// Withdraw as on cancellation: a detector verdict must not
+		// strand the collective's count for later generations.
+		t.mu.Lock()
+		select {
+		case <-ch:
+			t.mu.Unlock()
+			return t.total, nil
+		default:
+		}
+		t.cnt--
+		t.acc -= v
+		t.mu.Unlock()
+		return 0, t.deadErr
 	case <-ctx.Done():
 		t.mu.Lock()
 		select {
@@ -150,9 +217,14 @@ func (t *Transport) collective(ctx context.Context, v int64) (int64, error) {
 }
 
 // Reset implements Transport: drains every inbox through release and
-// rewinds the collective state. Must not be called concurrently with a
-// run.
+// rewinds the collective state. Partitions heal and the failure
+// detector is disarmed — a supervised replay starts on an intact
+// network, matching fault.go's one-shot posture (the partition that
+// killed attempt N does not re-fire on attempt N+1); re-arm detection
+// with EnableFailureDetection if the next run wants it. Must not be
+// called concurrently with a run.
 func (t *Transport) Reset(release func(transport.Batch)) {
+	t.stopDetector()
 	for _, ch := range t.inboxes {
 	drain:
 		for {
@@ -166,6 +238,24 @@ func (t *Transport) Reset(release func(transport.Batch)) {
 			}
 		}
 	}
+	t.voidMu.Lock()
+	voided := t.voided
+	t.voided = nil
+	t.voidMu.Unlock()
+	for _, b := range voided {
+		if release != nil {
+			release(b)
+		}
+	}
+	for i := range t.partitioned {
+		t.partitioned[i].Store(false)
+	}
+	t.dead = make(chan struct{})
+	t.deadOnce = sync.Once{}
+	t.deadErr = nil
+	t.fdStop = make(chan struct{})
+	t.fdOnce = sync.Once{}
+	t.fdDone = nil
 	t.mu.Lock()
 	t.cnt, t.acc, t.total = 0, 0, 0
 	t.mu.Unlock()
@@ -173,9 +263,101 @@ func (t *Transport) Reset(release func(transport.Batch)) {
 }
 
 // Close implements Transport. The channel transport holds no external
-// resources; inboxes are left for the GC so concurrent stragglers from
-// an aborted run can never send on a closed channel.
-func (t *Transport) Close() error { return nil }
+// resources — inboxes are left for the GC so concurrent stragglers from
+// an aborted run can never send on a closed channel — but a running
+// failure detector is stopped.
+func (t *Transport) Close() error {
+	t.stopDetector()
+	return nil
+}
+
+// EnableFailureDetection arms the simulated failure detector: a monitor
+// that stands in for the TCP transport's application heartbeats. Each
+// interval tick counts as "traffic heard" from every reachable rank; a
+// rank black-holed by Partition stops being heard from, and once its
+// silence exceeds deadline (≤0 defaults to 5× interval) the whole
+// transport fails with a *transport.PeerError naming that rank —
+// released through every blocked SendBatch, Recv and collective, so a
+// partitioned run dies loudly within the deadline instead of hanging.
+// Call before the run starts; a second call while a detector is armed
+// is a no-op.
+func (t *Transport) EnableFailureDetection(interval, deadline time.Duration) {
+	if interval <= 0 || t.fdDone != nil {
+		return
+	}
+	if deadline <= 0 {
+		deadline = 5 * interval
+	}
+	done := make(chan struct{})
+	t.fdDone = done
+	stop := t.fdStop
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		last := make([]time.Time, t.r)
+		now := time.Now()
+		for i := range last {
+			last[i] = now
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				for i := range last {
+					if !t.partitioned[i].Load() {
+						last[i] = now
+						continue
+					}
+					silent := now.Sub(last[i])
+					if silent > interval {
+						atomic.AddInt64(&t.hbMisses, 1)
+					}
+					if silent > deadline {
+						t.fail(i, fmt.Errorf("%w: no traffic from rank %d for %v (deadline %v)",
+							ErrHeartbeat, i, silent.Round(time.Millisecond), deadline))
+						return
+					}
+				}
+			}
+		}
+	}()
+}
+
+// stopDetector halts a running failure-detection monitor and waits for
+// it to exit, so Reset can rebuild detector state without racing it.
+func (t *Transport) stopDetector() {
+	t.fdOnce.Do(func() { close(t.fdStop) })
+	if t.fdDone != nil {
+		<-t.fdDone
+	}
+}
+
+// fail records the detector's verdict exactly once and releases every
+// blocked call.
+func (t *Transport) fail(rank int, err error) {
+	t.deadOnce.Do(func() {
+		t.deadErr = &transport.PeerError{Proc: rank, Err: err}
+		close(t.dead)
+	})
+}
+
+// Partition black-holes one rank: from now on every cross-rank send
+// from or to it is silently discarded with all channels left open — the
+// sockets-open network partition. Nothing surfaces it except an armed
+// failure detector (EnableFailureDetection); without one the run will
+// simply hang waiting on batches that never arrive, exactly like an
+// undetected real partition. Reset heals all partitions.
+func (t *Transport) Partition(rank int) { t.partitioned[rank].Store(true) }
+
+// Partitioned reports whether rank is currently black-holed.
+func (t *Transport) Partitioned(rank int) bool { return t.partitioned[rank].Load() }
+
+// HeartbeatMisses reports how many detector ticks found a partitioned
+// rank silent past the interval — the chan-transport analogue of the
+// TCP transport's heartbeat-miss counter.
+func (t *Transport) HeartbeatMisses() int64 { return atomic.LoadInt64(&t.hbMisses) }
 
 // MaxDepth reports the deepest observed inbox backlog, in batches.
 func (t *Transport) MaxDepth() int64 { return atomic.LoadInt64(&t.maxDepth) }

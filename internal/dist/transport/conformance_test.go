@@ -351,6 +351,122 @@ func TestConformanceCollectives(t *testing.T) {
 	}
 }
 
+// TestConformanceFailureDetection holds both implementations to the
+// partition contract: a peer that goes silent with its links still open
+// (a black-holed network partition — no RST, no FIN, nothing to trip
+// on) must surface as a loud *transport.PeerError naming the silent
+// peer within the armed failure-detection deadline, released through
+// blocked Recvs and subsequent sends. The chan fixture uses the
+// simulated detector (EnableFailureDetection + Partition); the tcp
+// fixture uses real application heartbeats and a FaultState partition.
+func TestConformanceFailureDetection(t *testing.T) {
+	const r = 4
+	type impl struct {
+		name string
+		// build returns the observer's transport (hosting rank 0), the
+		// rank/proc expected in the PeerError, and the partition trigger.
+		build func(t *testing.T) (transport.Transport, int, func())
+	}
+	impls := []impl{
+		{name: "chan", build: func(t *testing.T) (transport.Transport, int, func()) {
+			ch := chantransport.New(r)
+			t.Cleanup(func() { ch.Close() })
+			ch.EnableFailureDetection(10*time.Millisecond, 80*time.Millisecond)
+			return ch, 1, func() { ch.Partition(1) }
+		}},
+		{name: "tcp", build: func(t *testing.T) (transport.Transport, int, func()) {
+			const nprocs = 2
+			const hash = 0xfeedfacecafef00d
+			nodes := make([]*tcp.Node, nprocs)
+			addrs := make([]string, nprocs)
+			for i := range nodes {
+				n, err := tcp.NewNode("127.0.0.1:0", i, hash)
+				if err != nil {
+					t.Fatalf("node %d: %v", i, err)
+				}
+				nodes[i] = n
+				addrs[i] = n.Addr()
+			}
+			procs := transport.SplitRanks(addrs, r)
+			fs := tcp.NewFaultState(transport.TCPFaults{})
+			faults := map[int]*tcp.FaultState{1: fs}
+			ts := make([]*tcp.Transport, nprocs)
+			errs := make([]error, nprocs)
+			var wg sync.WaitGroup
+			for i := range ts {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					ts[i], errs[i] = tcp.Connect(context.Background(), nodes[i], tcp.Config{
+						Procs: procs, Self: i, PlanHash: hash, Faults: faults[i],
+						HeartbeatInterval: 20 * time.Millisecond,
+						HeartbeatDeadline: 120 * time.Millisecond,
+					}, confEpoch)
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("connect proc %d: %v", i, err)
+				}
+			}
+			t.Cleanup(func() {
+				for _, tr := range ts {
+					tr.Close()
+				}
+				for _, n := range nodes {
+					n.Close()
+				}
+			})
+			return ts[0], 1, fs.Partition
+		}},
+	}
+	for _, im := range impls {
+		t.Run(im.name, func(t *testing.T) {
+			tr, silent, partition := im.build(t)
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+
+			recvErr := make(chan error, 1)
+			go func() {
+				for {
+					if _, err := tr.Recv(ctx, 0); err != nil {
+						recvErr <- err
+						return
+					}
+				}
+			}()
+			start := time.Now()
+			partition()
+			var err error
+			select {
+			case err = <-recvErr:
+			case <-time.After(10 * time.Second):
+				t.Fatal("blocked Recv never observed the partition — an undetected black hole")
+			}
+			elapsed := time.Since(start)
+			var pe *transport.PeerError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Recv error = %v, want *transport.PeerError", err)
+			}
+			if pe.Proc != silent {
+				t.Fatalf("PeerError names proc %d, want the partitioned peer %d", pe.Proc, silent)
+			}
+			// The deadlines above are ≤120ms; allow generous scheduler
+			// slop but insist detection is prompt, not eventual.
+			if elapsed > 5*time.Second {
+				t.Fatalf("partition surfaced after %v — far beyond the armed deadline", elapsed)
+			}
+			// The verdict must also poison later sends on the dead link.
+			b := transport.Batch{From: 0, Dest: r - 1, Epoch: confEpoch, Tile: 1,
+				Edges: []graph.Edge{{U: 1, V: 2}}}
+			if err := tr.SendBatch(ctx, b, nopProgress); err == nil {
+				t.Fatal("SendBatch to the partitioned peer succeeded after the verdict")
+			}
+		})
+	}
+}
+
 func waitErr(t *testing.T, ch <-chan error) error {
 	t.Helper()
 	select {

@@ -92,7 +92,18 @@ type Config struct {
 	// fire once per process lifetime.
 	Faults *FaultState
 	// DialTimeout bounds mesh establishment per attempt; ≤ 0 means 10s.
+	// It also drives the per-connection dial and handshake-read deadlines,
+	// so a slow network widens every timeout together instead of tripping
+	// over a hardcoded one.
 	DialTimeout time.Duration
+	// HeartbeatInterval is how often each link sends an application-level
+	// ping when otherwise idle; ≤ 0 disables heartbeats (and with them
+	// deadline-based failure detection).
+	HeartbeatInterval time.Duration
+	// HeartbeatDeadline is the longest a link may stay silent before the
+	// peer is declared dead with a PeerError. ≤ 0 with a positive interval
+	// means 5× the interval.
+	HeartbeatDeadline time.Duration
 }
 
 func (c Config) dialTimeout() time.Duration {
@@ -102,17 +113,33 @@ func (c Config) dialTimeout() time.Duration {
 	return 10 * time.Second
 }
 
+func (c Config) heartbeatDeadline() time.Duration {
+	if c.HeartbeatDeadline > 0 {
+		return c.HeartbeatDeadline
+	}
+	return 5 * c.HeartbeatInterval
+}
+
 // FaultState is an armed transport.TCPFaults schedule with its lifetime
 // frame counter — process-wide across links and attempts, so a schedule
 // is deterministic in the number of batch frames written, regardless of
 // how traffic interleaves across peers.
 type FaultState struct {
-	plan   transport.TCPFaults
-	frames int64
+	plan        transport.TCPFaults
+	frames      int64
+	partitioned atomic.Bool
 }
 
 // NewFaultState arms a schedule.
 func NewFaultState(plan transport.TCPFaults) *FaultState { return &FaultState{plan: plan} }
+
+// Partition black-holes the process immediately: sockets stay open, but
+// from now on outbound frames are discarded and inbound frames dropped.
+// The scheduled form is TCPFaults.PartitionAfterFrames.
+func (f *FaultState) Partition() { f.partitioned.Store(true) }
+
+// Partitioned reports whether the black-hole is active.
+func (f *FaultState) Partitioned() bool { return f.partitioned.Load() }
 
 // errInjectedReset tags a fault-injected link death so tests can tell it
 // from a real one.
@@ -140,6 +167,11 @@ type Node struct {
 	self     int
 	planHash uint64
 
+	// hsTimeout bounds how long an accepted connection may take to
+	// present its Hello, in nanoseconds (atomic: Connect derives it from
+	// Config.DialTimeout while the accept loop reads it).
+	hsTimeout atomic.Int64
+
 	mu      sync.Mutex
 	parked  map[key]parkedConn
 	waiters map[key]chan parkedConn
@@ -158,8 +190,18 @@ func NewNode(addr string, self int, planHash uint64) (*Node, error) {
 		parked:  make(map[key]parkedConn),
 		waiters: make(map[key]chan parkedConn),
 		ctrl:    make(chan *CtrlConn, 16)}
+	n.hsTimeout.Store(int64(10 * time.Second))
 	go n.acceptLoop()
 	return n, nil
+}
+
+// SetHandshakeTimeout bounds how long an inbound connection may take to
+// present its Hello. Connect calls this with the config's dial timeout
+// so both sides of the handshake honor the same deadline.
+func (n *Node) SetHandshakeTimeout(d time.Duration) {
+	if d > 0 {
+		n.hsTimeout.Store(int64(d))
+	}
 }
 
 // Addr returns the bound listen address (useful with ":0" test configs).
@@ -191,7 +233,7 @@ func (n *Node) acceptLoop() {
 // caught by the wire codec's header parse; a plan-hash mismatch is
 // refused with an explicit Ack so the dialer fails loudly too.
 func (n *Node) handshake(conn net.Conn) {
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(time.Duration(n.hsTimeout.Load())))
 	br := bufio.NewReaderSize(conn, 1<<16)
 	h, payload, err := readFrame(br)
 	if err != nil || h.Kind != wire.KindHello || len(payload) < helloPayloadLen {
@@ -301,7 +343,7 @@ func (n *Node) AcceptControl(ctx context.Context) (*CtrlConn, error) {
 // not be listening yet) and runs the dialer side of the handshake. The
 // Ack may be deferred arbitrarily long — until the peer reaches this
 // epoch — so only ctx bounds the wait.
-func dialPeer(ctx context.Context, addr string, self, to int, epoch int64, planHash uint64, purpose byte, faults *FaultState) (net.Conn, *bufio.Reader, error) {
+func dialPeer(ctx context.Context, addr string, self, to int, epoch int64, planHash uint64, purpose byte, faults *FaultState, dialTimeout time.Duration) (net.Conn, *bufio.Reader, error) {
 	if faults != nil && faults.plan.DialDelay > 0 {
 		select {
 		case <-time.After(faults.plan.DialDelay):
@@ -309,9 +351,12 @@ func dialPeer(ctx context.Context, addr string, self, to int, epoch int64, planH
 			return nil, nil, context.Cause(ctx)
 		}
 	}
+	if dialTimeout <= 0 {
+		dialTimeout = 10 * time.Second
+	}
 	var conn net.Conn
 	for backoff := 10 * time.Millisecond; ; {
-		d := net.Dialer{Timeout: time.Second}
+		d := net.Dialer{Timeout: dialTimeout}
 		c, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			conn = c
@@ -359,6 +404,11 @@ type link struct {
 	conn   net.Conn
 	outQ   chan []byte
 	closed chan struct{} // closes writer on Transport.Close
+
+	// lastRecv is the UnixNano of the last frame read from this peer
+	// (any kind, heartbeats included) — the liveness signal the monitor
+	// holds against the heartbeat deadline.
+	lastRecv atomic.Int64
 }
 
 // redFrame is one collective frame (reduce contribution or release).
@@ -381,6 +431,7 @@ type Transport struct {
 	inboxes  []chan transport.Batch // local ranks, indexed rank-lo
 	maxDepth int64
 	stale    int64 // frames dropped by the transport-level epoch fence
+	hbMisses int64 // heartbeat intervals that passed without peer traffic
 
 	// dead closes once on the first link failure; err carries the
 	// PeerError every subsequently blocked call returns.
@@ -416,6 +467,7 @@ type Transport struct {
 // a higher one, all concurrently, failing if the mesh is not complete
 // within the dial timeout.
 func Connect(ctx context.Context, n *Node, cfg Config, epoch int64) (*Transport, error) {
+	n.SetHandshakeTimeout(cfg.dialTimeout())
 	self := cfg.Self
 	p := cfg.Procs[self]
 	r := cfg.Procs[len(cfg.Procs)-1].Hi
@@ -456,7 +508,7 @@ func Connect(ctx context.Context, n *Node, cfg Config, epoch int64) (*Transport,
 			var br *bufio.Reader
 			var err error
 			if self > peer {
-				conn, br, err = dialPeer(ctx, cfg.Procs[peer].Addr, self, peer, epoch, cfg.PlanHash, purposeData, cfg.Faults)
+				conn, br, err = dialPeer(ctx, cfg.Procs[peer].Addr, self, peer, epoch, cfg.PlanHash, purposeData, cfg.Faults, cfg.dialTimeout())
 			} else {
 				var pc parkedConn
 				pc, err = n.claim(ctx, peer, epoch)
@@ -471,6 +523,7 @@ func Connect(ctx context.Context, n *Node, cfg Config, epoch int64) (*Transport,
 				return
 			}
 			l := &link{proc: peer, conn: conn, outQ: make(chan []byte, outQDepth), closed: t.closed}
+			l.lastRecv.Store(time.Now().UnixNano())
 			t.links[peer] = l
 			t.wg.Add(2)
 			t.wWg.Add(1)
@@ -483,7 +536,61 @@ func Connect(ctx context.Context, n *Node, cfg Config, epoch int64) (*Transport,
 		t.Close()
 		return nil, firstErr
 	}
+	if cfg.HeartbeatInterval > 0 && len(t.links) > 0 {
+		t.wg.Add(1)
+		go t.heartbeatLoop(cfg.HeartbeatInterval, cfg.heartbeatDeadline())
+	}
 	return t, nil
+}
+
+// ErrHeartbeat tags a peer declared dead by heartbeat deadline rather
+// than by socket error — the partition detector's verdict.
+var ErrHeartbeat = errors.New("tcp: heartbeat deadline exceeded")
+
+// heartbeatLoop is the per-attempt liveness engine: every interval it
+// queues a ping on each link and checks how long each peer has been
+// silent. Any frame from the peer counts as life — data flow is its own
+// heartbeat — so pings only matter on idle or black-holed links. A peer
+// silent past the deadline fails the transport with a PeerError wrapping
+// ErrHeartbeat, which is how a partition (sockets open, nothing moving)
+// surfaces within a bounded time instead of as a hang.
+func (t *Transport) heartbeatLoop(interval, deadline time.Duration) {
+	defer t.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-t.closed:
+			return
+		case <-t.dead:
+			return
+		}
+		now := time.Now().UnixNano()
+		for peer, l := range t.links {
+			silent := time.Duration(now - l.lastRecv.Load())
+			if silent > interval {
+				atomic.AddInt64(&t.hbMisses, 1)
+			}
+			if silent > deadline {
+				t.fail(peer, fmt.Errorf("%w: no traffic from proc %d for %v (deadline %v)",
+					ErrHeartbeat, peer, silent.Round(time.Millisecond), deadline))
+				return
+			}
+			frame := framePool.Get().([]byte)[:0]
+			frame = append(frame, make([]byte, wire.HeaderSize)...)
+			wire.PutHeader(frame, wire.Header{
+				Kind: wire.KindPing, From: uint32(t.cfg.Self), Dest: uint32(peer), Epoch: t.epoch,
+			})
+			select {
+			case l.outQ <- frame:
+			default:
+				// Writer queue full: the link is moving real frames, which
+				// already proves liveness to the peer.
+				framePool.Put(frame[:0])
+			}
+		}
+	}
 }
 
 // fail records the first link failure and releases every blocked call.
@@ -540,6 +647,10 @@ func (t *Transport) writeLoop(l *link) {
 						if frame == nil {
 							continue
 						}
+						if f := t.cfg.Faults; f != nil && f.Partitioned() {
+							framePool.Put(frame[:0])
+							continue
+						}
 						_, err := bw.Write(frame)
 						framePool.Put(frame[:0]) //nolint:staticcheck // slice header boxing is fine here
 						if err != nil {
@@ -575,7 +686,15 @@ func (t *Transport) writeLoop(l *link) {
 				bw.Write(frame)
 				bw.Flush()
 				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			case f.plan.PartitionAfterFrames > 0 && n == f.plan.PartitionAfterFrames:
+				f.Partition()
 			}
+		}
+		if f := t.cfg.Faults; f != nil && f.Partitioned() {
+			// Black-holed: the frame silently vanishes, the socket stays
+			// open. The peer's only clue is its heartbeat deadline.
+			framePool.Put(frame[:0])
+			continue
 		}
 		_, err := bw.Write(frame)
 		framePool.Put(frame[:0]) //nolint:staticcheck // slice header boxing is fine here
@@ -611,7 +730,16 @@ func (t *Transport) readLoop(l *link, br *bufio.Reader) {
 			}
 			return
 		}
+		if f := t.cfg.Faults; f != nil && f.Partitioned() {
+			// The black-hole is symmetric: inbound frames vanish too, and
+			// lastRecv stays stale so this side's own monitor also fires.
+			continue
+		}
+		l.lastRecv.Store(time.Now().UnixNano())
 		switch h.Kind {
+		case wire.KindPing:
+			// Pure liveness; lastRecv above is its entire effect.
+			continue
 		case wire.KindBatch:
 			if h.Epoch != t.epoch {
 				// A frame from another attempt — possible only through a
@@ -688,6 +816,15 @@ func (t *Transport) Epoch() int64 { return t.epoch }
 // remote ones serialize onto the peer link's writer queue, after which
 // the staging buffer is recycled to the pool — the wire owns the bytes.
 func (t *Transport) SendBatch(ctx context.Context, b transport.Batch, progress func(transport.Batch)) error {
+	select {
+	case <-t.dead:
+		// A failed mesh refuses new work immediately: without this check
+		// a send could still slip onto a dead link's queue (its writer is
+		// gone) and look delivered, masking the failure until the queue
+		// fills.
+		return t.err
+	default:
+	}
 	if b.Dest == b.From {
 		progress(b)
 		return nil
@@ -992,6 +1129,11 @@ func (t *Transport) MaxDepth() int64 { return atomic.LoadInt64(&t.maxDepth) }
 // fence.
 func (t *Transport) StaleFrames() int64 { return atomic.LoadInt64(&t.stale) }
 
+// HeartbeatMisses reports heartbeat intervals that elapsed with no
+// traffic from some peer — early smoke for a link going quiet, whether
+// or not it later crossed the deadline.
+func (t *Transport) HeartbeatMisses() int64 { return atomic.LoadInt64(&t.hbMisses) }
+
 // Inject enqueues a batch directly into a local destination inbox — the
 // conformance suite's hook for forging residue from another attempt.
 func (t *Transport) Inject(b transport.Batch) { t.inboxes[b.Dest-t.lo] <- b }
@@ -1072,19 +1214,62 @@ type CtrlConn struct {
 	Peer int // the proc index at the other end
 
 	wmu sync.Mutex
+
+	// hbDeadline, when positive, bounds how long Recv tolerates total
+	// silence before declaring the peer dead. hbStop ends the pinger.
+	hbDeadline time.Duration
+	hbOnce     sync.Once
+	hbStop     chan struct{}
+	closeOnce  sync.Once
 }
 
 func newCtrlConn(conn net.Conn, br *bufio.Reader, self, peer int) *CtrlConn {
-	return &CtrlConn{conn: conn, br: br, self: self, Peer: peer}
+	return &CtrlConn{conn: conn, br: br, self: self, Peer: peer, hbStop: make(chan struct{})}
 }
 
-// DialControl opens a control connection to the head.
-func DialControl(ctx context.Context, addr string, self int, planHash uint64) (*CtrlConn, error) {
-	conn, br, err := dialPeer(ctx, addr, self, 0, -1, planHash, purposeCtrl, nil)
+// DialControl opens a control connection to the head. dialTimeout bounds
+// each underlying dial attempt (≤ 0 means 10s); ctx bounds the whole
+// exchange including the deferred ack.
+func DialControl(ctx context.Context, addr string, self int, planHash uint64, dialTimeout time.Duration) (*CtrlConn, error) {
+	conn, br, err := dialPeer(ctx, addr, self, 0, -1, planHash, purposeCtrl, nil, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	return newCtrlConn(conn, br, self, 0), nil
+}
+
+// StartHeartbeat arms liveness on the control link: a pinger sends
+// KindPing every interval, and Recv starts refusing to wait longer than
+// deadline (≤ 0 means 5× interval) for any frame. Both ends must arm —
+// each side's pings feed the other side's deadline. Safe to call once;
+// Close stops the pinger.
+func (cc *CtrlConn) StartHeartbeat(interval, deadline time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	if deadline <= 0 {
+		deadline = 5 * interval
+	}
+	cc.hbOnce.Do(func() {
+		cc.hbDeadline = deadline
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					cc.wmu.Lock()
+					err := writeSmallFrame(cc.conn, wire.KindPing, cc.self, cc.Peer, 0, 0, nil)
+					cc.wmu.Unlock()
+					if err != nil {
+						return // Recv surfaces the death; pinging is pointless now
+					}
+				case <-cc.hbStop:
+					return
+				}
+			}
+		}()
+	})
 }
 
 // Send JSON-encodes v into one control frame.
@@ -1099,16 +1284,37 @@ func (cc *CtrlConn) Send(v any) error {
 }
 
 // Recv blocks for the next control frame and decodes it into v.
+// Heartbeat frames are consumed silently as proof of life; with
+// StartHeartbeat armed, total silence past the deadline returns a
+// PeerError wrapping ErrHeartbeat instead of blocking forever on a
+// black-holed link.
 func (cc *CtrlConn) Recv(ctx context.Context, v any) error {
-	h, payload, err := readFrameCtx(ctx, cc.conn, cc.br)
-	if err != nil {
-		return err
+	for {
+		rctx := ctx
+		var cancel context.CancelFunc
+		if d := cc.hbDeadline; d > 0 {
+			rctx, cancel = context.WithTimeoutCause(ctx, d,
+				&transport.PeerError{Proc: cc.Peer, Err: fmt.Errorf("%w: control link silent for %v", ErrHeartbeat, d)})
+		}
+		h, payload, err := readFrameCtx(rctx, cc.conn, cc.br)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			return err
+		}
+		if h.Kind == wire.KindPing {
+			continue
+		}
+		if h.Kind != wire.KindControl {
+			return fmt.Errorf("tcp: control link got frame kind %d", h.Kind)
+		}
+		return json.Unmarshal(payload, v)
 	}
-	if h.Kind != wire.KindControl {
-		return fmt.Errorf("tcp: control link got frame kind %d", h.Kind)
-	}
-	return json.Unmarshal(payload, v)
 }
 
-// Close closes the control connection.
-func (cc *CtrlConn) Close() error { return cc.conn.Close() }
+// Close closes the control connection and stops its heartbeat pinger.
+func (cc *CtrlConn) Close() error {
+	cc.closeOnce.Do(func() { close(cc.hbStop) })
+	return cc.conn.Close()
+}

@@ -3,6 +3,7 @@ package tcp
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -16,6 +17,12 @@ const testHash = 0x6b726f6e6c616221
 // mesh builds an n-proc loopback cluster inside the test process, with
 // an optional fault schedule per proc.
 func mesh(t *testing.T, r, nprocs int, epoch int64, faults map[int]*FaultState) []*Transport {
+	return meshHB(t, r, nprocs, epoch, faults, 0, 0)
+}
+
+// meshHB is mesh with application heartbeats armed at the given
+// interval/deadline (zero interval disables them, as in Config).
+func meshHB(t *testing.T, r, nprocs int, epoch int64, faults map[int]*FaultState, hbInterval, hbDeadline time.Duration) []*Transport {
 	t.Helper()
 	nodes := make([]*Node, nprocs)
 	addrs := make([]string, nprocs)
@@ -36,7 +43,8 @@ func mesh(t *testing.T, r, nprocs int, epoch int64, faults map[int]*FaultState) 
 		go func(i int) {
 			defer wg.Done()
 			ts[i], errs[i] = Connect(context.Background(), nodes[i],
-				Config{Procs: procs, Self: i, PlanHash: testHash, Faults: faults[i]}, epoch)
+				Config{Procs: procs, Self: i, PlanHash: testHash, Faults: faults[i],
+					HeartbeatInterval: hbInterval, HeartbeatDeadline: hbDeadline}, epoch)
 		}(i)
 	}
 	wg.Wait()
@@ -255,6 +263,97 @@ func TestDialDelayFault(t *testing.T) {
 	}
 }
 
+// TestHeartbeatIdleLinkStaysAlive pins the liveness half of the
+// heartbeat contract: an armed but completely idle mesh must NOT be
+// declared dead — the pings themselves are the traffic that proves the
+// peer alive. (The detection half is the partition suite below.)
+func TestHeartbeatIdleLinkStaysAlive(t *testing.T) {
+	ts := meshHB(t, 2, 2, 1, nil, 20*time.Millisecond, 100*time.Millisecond)
+	time.Sleep(400 * time.Millisecond) // many deadlines' worth of idle
+	for i, tr := range ts {
+		if err := tr.Err(); err != nil {
+			t.Fatalf("idle heartbeated proc %d failed: %v", i, err)
+		}
+	}
+	// The link must still carry traffic.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	b := transport.Batch{From: 1, Dest: 0, Epoch: 1, Tile: 3,
+		Edges: []graph.Edge{{U: 7, V: 8}}}
+	if err := ts[1].SendBatch(ctx, b, func(transport.Batch) {}); err != nil {
+		t.Fatalf("send after idle: %v", err)
+	}
+	got, err := ts[0].Recv(ctx, 0)
+	if err != nil {
+		t.Fatalf("recv after idle: %v", err)
+	}
+	if got.Tile != 3 {
+		t.Fatalf("got tile %d, want 3", got.Tile)
+	}
+}
+
+// TestPartitionSoakTCP is the partition soak: repeatedly build a
+// heartbeated mesh, black-hole one side mid-traffic at a varying frame
+// count (sockets stay open — no RST, no FIN), and require BOTH sides to
+// surface a PeerError naming the other proc. Run under -race, the soak
+// also shakes the heartbeat/partition state machine for data races.
+func TestPartitionSoakTCP(t *testing.T) {
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
+			faults := map[int]*FaultState{
+				1: NewFaultState(transport.TCPFaults{PartitionAfterFrames: int64(2 + round)}),
+			}
+			ts := meshHB(t, 2, 2, 1, faults, 10*time.Millisecond, 60*time.Millisecond)
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+
+			recvErr := make(chan error, 1)
+			go func() {
+				for {
+					if _, err := ts[0].Recv(ctx, 0); err != nil {
+						recvErr <- err
+						return
+					}
+				}
+			}()
+			sendErr := make(chan error, 1)
+			go func() {
+				for i := 0; ; i++ {
+					b := transport.Batch{From: 1, Dest: 0, Epoch: 1, Tile: i,
+						Edges: []graph.Edge{{U: int64(i), V: int64(i)}}}
+					if err := ts[1].SendBatch(ctx, b, func(transport.Batch) {}); err != nil {
+						sendErr <- err
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+			var pe *transport.PeerError
+			select {
+			case err := <-recvErr:
+				if !errors.As(err, &pe) || pe.Proc != 1 {
+					t.Fatalf("observer error = %v, want PeerError{Proc: 1}", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("observer never detected the partition")
+			}
+			select {
+			case err := <-sendErr:
+				if !errors.As(err, &pe) || pe.Proc != 0 {
+					t.Fatalf("partitioned side error = %v, want PeerError{Proc: 0}", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("partitioned side never detected its own isolation")
+			}
+			if n := ts[0].HeartbeatMisses(); n == 0 {
+				t.Fatal("observer counted no heartbeat misses across a detected partition")
+			}
+		})
+	}
+}
+
 // TestControlConn round-trips JSON over a control link in both
 // directions, the channel cluster supervision runs on.
 func TestControlConn(t *testing.T) {
@@ -272,7 +371,7 @@ func TestControlConn(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		cc, err := DialControl(ctx, n0.Addr(), 2, testHash)
+		cc, err := DialControl(ctx, n0.Addr(), 2, testHash, 0)
 		if err != nil {
 			done <- err
 			return

@@ -151,4 +151,10 @@ type TCPFaults struct {
 	// outbound batch frame — a real process death, buffered state lost,
 	// for the crash-then-recover suites.
 	KillAfterFrames int64
+	// PartitionAfterFrames black-holes this process after it writes the
+	// Nth outbound batch frame: every socket stays open, but outbound
+	// frames are silently discarded and inbound frames silently dropped —
+	// the half-open network partition only a heartbeat deadline can
+	// surface.
+	PartitionAfterFrames int64
 }

@@ -10,7 +10,7 @@
 //
 //	offset  size  field
 //	     0     4  magic  0x4b524f4e ("KRON")
-//	     4     1  kind   (Batch, Control, Reduce, Release, Hello, Ack)
+//	     4     1  kind   (Batch, Control, Reduce, Release, Hello, Ack, Ping)
 //	     5     1  flags  bit0 = EOF (end of sender's stream this exchange)
 //	     6     2  version (protocol version, checked at handshake AND on
 //	              every frame so a mid-stream impostor fails loudly)
@@ -71,6 +71,7 @@ const (
 	KindRelease = 4 // collective release: proc 0 → all procs
 	KindHello   = 5 // connection handshake: dialer → listener
 	KindAck     = 6 // handshake accept: listener → dialer
+	KindPing    = 7 // application heartbeat: any direction, empty payload
 )
 
 // FlagEOF marks a Batch frame as the end of the sender's stream for the
