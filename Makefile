@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench benchcmp allocguard clean recovery-soak head-soak fuzz-smoke lint cluster-smoke
+.PHONY: all build test race vet fmt-check bench bench-multicore benchcmp allocguard clean recovery-soak head-soak fuzz-smoke lint cluster-smoke
 
 all: build test
 
@@ -70,6 +70,14 @@ cluster-smoke:
 # pass.
 bench:
 	sh scripts/bench.sh
+
+# Multicore throughput sweep (the repo's headline edges/sec metric):
+# BenchmarkThroughputSweep over R ranks × GOMAXPROCS, captured as
+# BENCH_<date>_multicore.json. Diff snapshots with
+# `sh scripts/benchcmp.sh -multicore`.
+bench-multicore:
+	BENCH=ThroughputSweep OUT=BENCH_$$(date +%Y-%m-%d)_multicore.json \
+		sh scripts/bench.sh .
 
 # Compares the two newest BENCH_*.json snapshots (or any two passed as
 # OLD=/NEW=) benchmark by benchmark — benchstat when installed, an awk

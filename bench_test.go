@@ -7,6 +7,7 @@ package kronlab_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -140,6 +141,42 @@ func BenchmarkE2GenerateChain(b *testing.B) {
 				b.SetBytes(res.Stats.EdgesGenerated * 16)
 			}
 		})
+	}
+}
+
+// --- Multicore saturation: edges/sec at R ranks × P cores ---
+
+// BenchmarkThroughputSweep is the repo's headline number: sustained
+// edges/sec of the full routed engine (expand → route → sink) swept over
+// cluster size R and GOMAXPROCS P. The P axis is what the freelist
+// sharding, double-buffered sends and async store sink buy: on multicore
+// hardware the R=16 rows should scale with P until the machine
+// saturates, and a committed BENCH_<date>_multicore.json snapshot of
+// this sweep is the record of where that happened. P values above
+// runtime.NumCPU() still run (the scheduler timeslices), so snapshots
+// from narrow machines keep every row — flat, but comparable.
+func BenchmarkThroughputSweep(b *testing.B) {
+	fixtures(b)
+	edges := benchA.NumArcs() * benchB.NumArcs()
+	procs := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > procs[len(procs)-1] {
+		procs = append(procs, n)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, r := range []int{1, 4, 16} {
+		for _, p := range procs {
+			b.Run(fmt.Sprintf("R=%d/P=%d", r, p), func(b *testing.B) {
+				runtime.GOMAXPROCS(p)
+				b.SetBytes(edges * 16)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := dist.Generate1D(benchA, benchB, r, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+			})
+		}
 	}
 }
 

@@ -15,7 +15,7 @@
 //
 //	flags: [-out C.txt] [-mode serial|1d|2d] [-ranks R] [-self-loops]
 //	       [-binary] [-stats] [-store DIR [-shards S]]
-//	       [-offset N] [-limit M]
+//	       [-offset N] [-limit M] [-gomaxprocs N]
 //	       [-cluster-peers H:P,H:P,... -cluster-self N [-retries K]
 //	        [-ledger FILE] [-head-retries K] [-hb-interval D] [-hb-deadline D]
 //	        [-dial-timeout D]]
@@ -58,6 +58,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -98,7 +99,15 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 0, "cluster mode: dial and handshake timeout (0 = 10s default); raise on slow networks")
 	dumpStore := flag.String("dump-store", "", "load an existing store at this directory and write it as an edge list (to -out or stdout); no generation")
 	dumpArcs := flag.Bool("dump-arcs", false, "with -dump-store: write every stored arc as a headerless \"u v\" line instead of the canonical undirected edge list (windowed stores are not arc-symmetric)")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "cap the OS threads running Go code (0 = runtime default); makes core-count sweeps scriptable without env juggling")
 	flag.Parse()
+
+	if *gomaxprocs < 0 {
+		log.Fatalf("-gomaxprocs must be ≥ 0, got %d", *gomaxprocs)
+	}
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
+	}
 
 	if *dumpStore != "" {
 		st, err := store.Open(*dumpStore)
@@ -234,6 +243,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "expecting |V| = %d, |E| = %d (%d arcs) from %d factor(s)\n",
 		ch.NumVertices(), edges, arcs, ch.K())
+	fmt.Fprintf(os.Stderr, "running with GOMAXPROCS=%d on %d CPU(s)\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
 	if *offset > arcs {
 		log.Fatalf("-offset %d is beyond the product's %d arcs", *offset, arcs)
 	}

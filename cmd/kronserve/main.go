@@ -19,14 +19,24 @@
 //	-ledger         run-ledger path reported via /healthz (default none)
 //	-drain          graceful shutdown deadline after SIGTERM/SIGINT (default 15s)
 //	-pprof          side listener address for net/http/pprof (default off)
+//	-pprof-mutex    mutex profile sampling fraction (default 0 = off)
+//	-pprof-block    block profile rate in ns blocked per sample (default 0 = off)
 //
 // -pprof serves the runtime profiling endpoints on a separate listener
 // (own mux, never the service address), so profiles of a live server —
-// including the engine's phase labels phase=expand|route|store — stay
-// off the public surface. Point it at loopback, e.g. -pprof
+// including the engine's phase labels phase=expand|route|store|sink-flush
+// — stay off the public surface. Point it at loopback, e.g. -pprof
 // localhost:6060, then:
 //
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// -pprof-mutex and -pprof-block arm the runtime's contention profiles
+// (runtime.SetMutexProfileFraction / runtime.SetBlockProfileRate), which
+// are off by default; with them set, /debug/pprof/mutex and
+// /debug/pprof/block show where the freelist shards, the exchange's
+// blocking sends and the async sink queues actually contend. A mutex
+// fraction of 5 and a block rate of 10000 (10µs) are cheap enough to
+// leave on for a whole contention hunt.
 //
 // On SIGTERM or SIGINT the server drains: new heavy requests get 503,
 // in-flight generation streams are cancelled and finish with a clean
@@ -46,6 +56,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -65,7 +76,20 @@ func main() {
 	ledgerPath := flag.String("ledger", "", "run-ledger path of the fronted cluster deployment, reported via /healthz")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown deadline after SIGTERM/SIGINT")
 	pprofAddr := flag.String("pprof", "", "side listener address for net/http/pprof (empty = disabled)")
+	pprofMutex := flag.Int("pprof-mutex", 0, "mutex profile sampling fraction, 1-in-N contention events (0 = off)")
+	pprofBlock := flag.Int("pprof-block", 0, "block profile sampling rate in ns blocked per sample (0 = off)")
 	flag.Parse()
+
+	// Contention profiles are off by default in the runtime; arm them
+	// before the engine spawns goroutines so the first request is already
+	// covered. Cheap enough at modest fractions to leave on in a
+	// contention hunt, but not free — hence opt-in flags, not defaults.
+	if *pprofMutex > 0 {
+		runtime.SetMutexProfileFraction(*pprofMutex)
+	}
+	if *pprofBlock > 0 {
+		runtime.SetBlockProfileRate(*pprofBlock)
+	}
 
 	if *pprofAddr != "" {
 		// Dedicated mux on a dedicated listener: the profiling surface is

@@ -318,7 +318,7 @@ func TestClusterOneShotAfterCancelledRun(t *testing.T) {
 			}
 			// Stage an undelivered message, then die before EOF: the
 			// exact residue an aborted exchange leaves behind.
-			buf := c.getBuf(DefaultBatchSize)
+			buf := c.getBuf(rk.ID(), DefaultBatchSize)
 			buf = append(buf, graph.Edge{U: 7, V: 7})
 			s := newShipper(rk, DefaultBatchSize, nil)
 			s.send(1, Message{Edges: buf})
@@ -883,7 +883,7 @@ func TestEpochFencingDropsStaleBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.epoch = 5
-	stale := c.getBuf(DefaultBatchSize)
+	stale := c.getBuf(0, DefaultBatchSize)
 	stale = append(stale, graph.Edge{U: 9, V: 9})
 	c.tr.(*chantransport.Transport).Inject(Message{From: 0, Dest: 1, Epoch: 3, Edges: stale})
 
@@ -990,6 +990,75 @@ func TestRecoverSoak(t *testing.T) {
 			}
 			if st.OutstandingBufs != 0 {
 				t.Fatalf("schedule leaked %d pooled buffers", st.OutstandingBufs)
+			}
+		})
+	}
+}
+
+// TestRecoverAsyncStoreSink crashes ranks while the async store sink's
+// writer goroutines are mid-drain, recovers under supervision, and
+// proves the recovered on-disk store still holds exactly the
+// core.Product edge set — the exactly-once contract of the batched sink
+// under replay fencing. This is the store-backed twin of
+// TestRecoverCrashEachPoint: the in-memory sink cannot see a writer
+// goroutine double-appending a replayed batch or dropping a staged tail
+// on teardown; the shard files can.
+func TestRecoverAsyncStoreSink(t *testing.T) {
+	a := gen.ER(8, 0.5, 231).WithFullSelfLoops()
+	b := gen.PrefAttach(6, 2, 232)
+	want, err := core.Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nC := a.NumVertices() * b.NumVertices()
+
+	for pi, point := range []FaultPoint{FaultMidExpansion, FaultMidExchange, FaultInCollective} {
+		point := point
+		t.Run(fmt.Sprint(point), func(t *testing.T) {
+			t.Parallel()
+			const r = 3
+			plan, err := planFor(a, b, r, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crash := CrashSpec{Rank: 1, Point: point}
+			if point == FaultMidExpansion {
+				// Crash halfway through the busiest rank's expansion so
+				// the sink already staged (and possibly flushed) edges
+				// that the replay will regenerate behind the fence.
+				rank, work := plannedWork(plan)
+				crash.Rank, crash.After = rank, work/2
+			}
+			ss := NewStoreSink(t.TempDir(), r)
+			var st Stats
+			runErr := runWithWatchdog(t, chaosWatchdog, func() error {
+				var err error
+				st, err = Run(context.Background(), Config{
+					Plan: plan, Owner: OwnerBySource, Sink: ss,
+					Faults:   &FaultPlan{Seed: int64(400 + pi), Crashes: []CrashSpec{crash}},
+					Recovery: Recovery{MaxRetries: 2, Backoff: time.Millisecond},
+				})
+				return err
+			})
+			if runErr != nil {
+				t.Fatalf("supervised run failed despite retry budget: %v", runErr)
+			}
+			store, err := ss.Finalize(nC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := store.LoadGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Equal(want) {
+				t.Fatal("recovered store differs from core.Product — async sink broke exactly-once under replay")
+			}
+			if st.RecoveredRuns != 1 {
+				t.Fatalf("RecoveredRuns = %d, want 1", st.RecoveredRuns)
+			}
+			if st.OutstandingBufs != 0 {
+				t.Fatalf("recovered run leaked %d pooled buffers", st.OutstandingBufs)
 			}
 		})
 	}

@@ -308,45 +308,76 @@ func (c *Cluster) RunContext(ctx context.Context, body func(rk *Rank) error) err
 // allocations every run, and pushing a plain slice header onto a slice
 // stack does not box it into an interface the way sync.Pool.Put does —
 // that box was one heap object per flushed batch, the single largest
-// allocation source in the routed engine. The freelist is capped so idle
-// buffer memory stays bounded; per-cluster accounting stays in
-// Cluster.bufsOut, which nets zero for any get/put pair regardless of
-// which cluster's run originally allocated the buffer.
-var edgeBufPool struct {
+// allocation source in the routed engine.
+//
+// The freelist is sharded by rank so ranks running on different cores
+// never serialize on one mutex: rank ρ fills from and spills to shard
+// ρ mod poolShards, in bulk only (the per-batch recycle path is the
+// shipper's lock-free spare stack). A rank whose own shard runs dry
+// steals a bulk grab from the other shards before allocating, which
+// preserves the cross-run warmth the single freelist had — buffers
+// spilled by an R=4 run are found by an R=16 run's ranks regardless of
+// which shard they landed in. Each shard is padded to its own cache
+// line. Per-cluster accounting stays in Cluster.bufsOut, which nets
+// zero for any get/put pair regardless of which cluster's run (or
+// shard) originally held the buffer.
+const poolShards = 8 // power of two; shardFor masks with poolShards-1
+
+// edgeBufPoolShardCap bounds each shard; buffers recycled beyond it are
+// dropped for the GC. poolShards shards × 512 buffers of the default
+// batch size is 64 MiB total — comfortably above the in-flight peak of
+// any simulated cluster size the repo runs (R² staged + inbox backlog
+// at R=32 is ~1.3k buffers).
+const edgeBufPoolShardCap = 512
+
+type bufShard struct {
 	mu   sync.Mutex
 	free [][]graph.Edge
+	_    [64]byte // pad shards onto separate cache lines
 }
 
-// edgeBufPoolCap bounds the freelist; buffers recycled beyond it are
-// dropped for the GC. 4096 buffers of the default batch size is 64 MiB —
-// comfortably above the in-flight peak of any simulated cluster size the
-// repo runs (R² staged + inbox backlog at R=32 is ~1.3k).
-const edgeBufPoolCap = 4096
+var edgeBufPool [poolShards]bufShard
 
-// poolFill pops up to k recycled buffers onto dst under one lock.
-func poolFill(dst [][]graph.Edge, k int) [][]graph.Edge {
-	p := &edgeBufPool
-	p.mu.Lock()
-	for n := len(p.free); k > 0 && n > 0; k-- {
-		n--
-		dst = append(dst, p.free[n])
-		p.free[n] = nil
-		p.free = p.free[:n]
+// shardFor maps a rank to its home freelist shard.
+func shardFor(rank int) int { return rank & (poolShards - 1) }
+
+// putBufSpread is the shard cursor for recycles with no rank context
+// (Reset's stale-inbox drain): spreading them round-robin keeps a long
+// recovery run from piling every drained buffer onto shard 0.
+var putBufSpread atomic.Int64
+
+// poolFill pops up to k recycled buffers onto dst, trying the caller's
+// home shard first (one lock in steady state) and stealing bulk grabs
+// from the other shards only when it runs dry — a cold pool walks all
+// shards once and then allocates.
+func poolFill(shard int, dst [][]graph.Edge, k int) [][]graph.Edge {
+	for i := 0; i < poolShards && k > 0; i++ {
+		p := &edgeBufPool[(shard+i)&(poolShards-1)]
+		p.mu.Lock()
+		for n := len(p.free); k > 0 && n > 0; k-- {
+			n--
+			dst = append(dst, p.free[n])
+			p.free[n] = nil
+			p.free = p.free[:n]
+		}
+		p.mu.Unlock()
 	}
-	p.mu.Unlock()
 	return dst
 }
 
-// poolSpill pushes every buffer in src back under one lock; src is
-// cleared for its owner.
-func poolSpill(src [][]graph.Edge) {
+// poolSpill pushes every buffer in src back onto the caller's home shard
+// under one lock; src is cleared for its owner. Overflow beyond the
+// shard cap is dropped for the GC rather than walked onto other shards —
+// spills are bulk and rare, and a full home shard means the pool is
+// already warm.
+func poolSpill(shard int, src [][]graph.Edge) {
 	if len(src) == 0 {
 		return
 	}
-	p := &edgeBufPool
+	p := &edgeBufPool[shard&(poolShards-1)]
 	p.mu.Lock()
 	for i, b := range src {
-		if len(p.free) < edgeBufPoolCap {
+		if len(p.free) < edgeBufPoolShardCap {
 			p.free = append(p.free, b[:0])
 		}
 		src[i] = nil
@@ -355,36 +386,41 @@ func poolSpill(src [][]graph.Edge) {
 }
 
 // getBuf returns an empty edge buffer for an n-edge batch, reusing a
-// recycled one when available. A recycled buffer may have any capacity
-// (batch sizes vary across runs); append growth re-sizes it and the
-// grown buffer returns to the freelist, so capacities converge upward.
-// The exchange hot path recycles through rank-local spare stacks instead
-// (see shipper.getBuf) and only hits this shared freelist to fill, spill
-// or cross runs.
-func (c *Cluster) getBuf(n int) []graph.Edge {
+// recycled one when available — from the home shard of the given rank,
+// stealing across shards on a miss. A recycled buffer may have any
+// capacity (batch sizes vary across runs); append growth re-sizes it and
+// the grown buffer returns to the freelist, so capacities converge
+// upward. The exchange hot path recycles through rank-local spare stacks
+// instead (see shipper.getBuf) and only hits the shared shards to fill,
+// spill or cross runs.
+func (c *Cluster) getBuf(rank, n int) []graph.Edge {
 	atomic.AddInt64(&c.bufsOut, 1)
-	p := &edgeBufPool
-	p.mu.Lock()
-	if k := len(p.free); k > 0 {
-		b := p.free[k-1]
-		p.free[k-1] = nil
-		p.free = p.free[:k-1]
+	shard := shardFor(rank)
+	for i := 0; i < poolShards; i++ {
+		p := &edgeBufPool[(shard+i)&(poolShards-1)]
+		p.mu.Lock()
+		if k := len(p.free); k > 0 {
+			b := p.free[k-1]
+			p.free[k-1] = nil
+			p.free = p.free[:k-1]
+			p.mu.Unlock()
+			return b
+		}
 		p.mu.Unlock()
-		return b
 	}
-	p.mu.Unlock()
 	return make([]graph.Edge, 0, n)
 }
 
-// putBuf recycles a delivered batch buffer.
+// putBuf recycles a delivered batch buffer with no rank context; the
+// spread cursor picks a shard round-robin.
 func (c *Cluster) putBuf(s []graph.Edge) {
 	if cap(s) == 0 {
 		return
 	}
 	atomic.AddInt64(&c.bufsOut, -1)
-	p := &edgeBufPool
+	p := &edgeBufPool[int(putBufSpread.Add(1))&(poolShards-1)]
 	p.mu.Lock()
-	if len(p.free) < edgeBufPoolCap {
+	if len(p.free) < edgeBufPoolShardCap {
 		p.free = append(p.free, s[:0])
 	}
 	p.mu.Unlock()

@@ -256,7 +256,9 @@ type latePool struct {
 
 func (p *latePool) Get(n int) []graph.Edge {
 	if c := p.c.Load(); c != nil {
-		return c.getBuf(n)
+		// No rank context on the decode path; the spread in putBuf keeps
+		// the shards balanced, so any home shard works — use 0.
+		return c.getBuf(0, n)
 	}
 	return make([]graph.Edge, 0, n)
 }

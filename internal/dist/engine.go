@@ -19,6 +19,10 @@ var (
 	expandLabels = pprof.WithLabels(context.Background(), pprof.Labels("phase", "expand"))
 	routeLabels  = pprof.WithLabels(context.Background(), pprof.Labels("phase", "route"))
 	storeLabels  = pprof.WithLabels(context.Background(), pprof.Labels("phase", "store"))
+	// sinkFlushLabels marks the async store sink's writer goroutines
+	// (sinks.go), so disk-flush time shows up as its own phase instead of
+	// blending into the expanding ranks' store samples.
+	sinkFlushLabels = pprof.WithLabels(context.Background(), pprof.Labels("phase", "sink-flush"))
 )
 
 // Tile is one unit of expansion work: a slice of head-factor arcs
@@ -402,7 +406,7 @@ func runAttempt(ctx context.Context, c *Cluster, owner Owner, tiles [][]Tile, si
 		// freelist — expansion allocates nothing in steady state and
 		// per-rank memory stays O(|E_A|/R + |E_B| + R·batch) even when
 		// this rank's B factor is large.
-		scratch := c.getBuf(batch)
+		scratch := c.getBuf(rk.ID(), batch)
 		// poll checks for run teardown: sends only notice a torn-down run
 		// when a flush fails, and the buffered inboxes can absorb a lot
 		// before one does — poll once per block (or per batch of edges on

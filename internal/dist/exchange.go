@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"kronlab/internal/dist/transport"
 	"kronlab/internal/graph"
 )
 
@@ -50,14 +51,27 @@ func (rk *Rank) Exchange(produce func(emit func(to int, e graph.Edge) bool), han
 // staged buffer to the transport and immediately checks out a fresh one
 // from the pool, so staging the next batch overlaps the in-flight
 // delivery — per-destination double buffering.
+//
+// On transports that offer transport.TrySender, a flush that would block
+// does not stall expansion: the full batch is parked as the
+// destination's one in-flight pending batch and the rank keeps
+// expanding; the pending batch is completed — non-blocking retry first,
+// then the blocking send — before anything else is sent to that
+// destination, so per-(tile, destination) substream order is exactly
+// the blocking path's. Fault-armed runs keep the blocking path
+// unconditionally: crash countdowns and delivery faults are scheduled
+// against its deterministic send cadence.
 type shipper struct {
 	rk      *Rank
 	c       *Cluster
 	rx      *receiver
 	onRecv  func(Message) // rx.recv as a stored method value: one alloc per exchange, reused by every SendBatch
 	batch   int
-	bufs    [][]graph.Edge // staged batch per destination (nil until targeted)
-	tile    []int          // tile of the staged batch, per destination
+	shard   int                 // home freelist shard (shardFor(rank)) for bulk fill/spill
+	try     transport.TrySender // non-nil on clean runs over a TrySender transport
+	bufs    [][]graph.Edge      // staged batch per destination (nil until targeted)
+	pending []Message           // parked in-flight batch per destination (Edges nil when none)
+	tile    []int               // tile of the staged batch, per destination
 	nspare  int
 	spare   [spareCap][]graph.Edge // rank-local recycled buffers (lock-free)
 	aborted bool
@@ -69,11 +83,17 @@ type shipper struct {
 // an outbound send blocks.
 func newShipper(rk *Rank, batch int, handle func(tile int, edges []graph.Edge)) *shipper {
 	c := rk.c
-	s := &shipper{rk: rk, c: c, batch: batch,
+	s := &shipper{rk: rk, c: c, batch: batch, shard: shardFor(rk.id),
 		rx:   &receiver{c: c, id: rk.id, epoch: c.epoch, handle: handle},
 		bufs: make([][]graph.Edge, c.r), tile: make([]int, c.r)}
 	s.rx.s = s
 	s.onRecv = s.rx.recv
+	if c.faults == nil {
+		if ts, ok := c.tr.(transport.TrySender); ok {
+			s.try = ts
+			s.pending = make([]Message, c.r)
+		}
+	}
 	return s
 }
 
@@ -91,7 +111,7 @@ const spareCap = 64
 // makes the spare stack safe without synchronization.
 func (s *shipper) getBuf() []graph.Edge {
 	if s.nspare == 0 {
-		s.nspare = len(poolFill(s.spare[:0], 8))
+		s.nspare = len(poolFill(s.shard, s.spare[:0], 8))
 	}
 	atomic.AddInt64(&s.c.bufsOut, 1)
 	if s.nspare > 0 {
@@ -117,7 +137,7 @@ func (s *shipper) release(b []graph.Edge) {
 		s.nspare++
 		return
 	}
-	poolSpill([][]graph.Edge{b})
+	poolSpill(s.shard, [][]graph.Edge{b})
 }
 
 // receiver is the inline progress engine of one rank's exchange. The
@@ -232,12 +252,96 @@ func (s *shipper) send(to int, m Message) bool {
 	return true
 }
 
+// sendStats updates the traffic counters for one accepted batch — the
+// same accounting shipper.send does after a successful SendBatch.
+func (s *shipper) sendStats(m Message) {
+	c := s.c
+	atomic.AddInt64(&c.stats.Messages, 1)
+	if len(m.Edges) > 0 {
+		atomic.AddInt64(&c.stats.EdgesRouted, int64(len(m.Edges)))
+		atomic.AddInt64(&c.stats.BytesSent, int64(len(m.Edges))*edgeWireBytes)
+	}
+}
+
+// flushPending completes the parked in-flight batch for one destination.
+// FIFO demands it lands before anything else is sent there: one
+// non-blocking retry first (the common case — the queue drained while
+// this rank kept expanding), then the blocking send with inline
+// progress. On failure the batch stays in pending for the abort path to
+// recycle exactly once.
+func (s *shipper) flushPending(to int) bool {
+	m := s.pending[to]
+	if m.Edges == nil {
+		return true
+	}
+	if ok, err := s.try.TrySendBatch(m); err != nil {
+		if s.c.ctx.Err() == nil {
+			s.c.cancel(err)
+		}
+		s.aborted = true
+		return false
+	} else if ok {
+		s.pending[to] = Message{}
+		s.sendStats(m)
+		return true
+	}
+	if !s.send(to, m) {
+		s.aborted = true
+		return false
+	}
+	s.pending[to] = Message{}
+	return true
+}
+
 // flush ships the staged batch for one destination (or a bare EOF
 // marker). On failure the shipper is aborted: the run is torn down and
 // nothing more will be accepted.
+//
+// With a TrySender transport the cross-rank non-EOF path never blocks:
+// an accepted try-send completes immediately, a refused one parks the
+// batch as the destination's pending in-flight batch and expansion
+// continues — the second buffer that lets routing overlap a congested
+// link. EOF markers, self-sends and fault-armed runs take the blocking
+// path (an EOF must be delivered before the flush loop can report it).
 func (s *shipper) flush(to int, eof bool) bool {
 	b := s.bufs[to]
+	if len(b) == 0 && !eof && (s.pending == nil || s.pending[to].Edges == nil) {
+		return true
+	}
+	// Complete the destination's in-flight batch first — substream order.
+	if s.try != nil && !s.flushPending(to) {
+		return false
+	}
 	if len(b) == 0 && !eof {
+		return true
+	}
+	if s.try != nil && !eof && to != s.rk.id && len(b) > 0 {
+		// Mirror send's refusal on a torn-down run: an accepted try-send
+		// into a dead run's inbox would strand the buffer.
+		if s.c.ctx.Err() != nil {
+			s.aborted = true
+			return false
+		}
+		m := Message{From: s.rk.id, Dest: to, Epoch: s.c.epoch, Tile: s.tile[to], Edges: b}
+		ok, err := s.try.TrySendBatch(m)
+		if err != nil {
+			if s.c.ctx.Err() == nil {
+				s.c.cancel(err)
+			}
+			s.aborted = true
+			return false
+		}
+		if ok {
+			s.sendStats(m)
+		} else {
+			// Transport full: park the batch in flight and keep expanding.
+			s.pending[to] = m
+		}
+		s.bufs[to] = s.getBuf()
+		// Drain our own backlog while we are here so in-flight buffers
+		// stay O(R + inbox) instead of piling up until the EOF drain —
+		// and so a parked batch's destination eventually drains too.
+		s.rx.progress()
 		return true
 	}
 	if !s.send(to, Message{From: s.rk.id, Tile: s.tile[to], Edges: b, EOF: eof}) {
@@ -345,7 +449,7 @@ func (rk *Rank) exchangeBlocks(batch int, produce func(s *shipper), handle func(
 	defer func() {
 		// Return the rank-local spares to the shared freelist in one
 		// locked push, so the next run (or cluster) starts warm.
-		poolSpill(s.spare[:s.nspare])
+		poolSpill(s.shard, s.spare[:s.nspare])
 		s.nspare = 0
 	}()
 	produce(s)
@@ -371,6 +475,14 @@ func (rk *Rank) exchangeBlocks(batch int, produce func(s *shipper), handle func(
 			if s.bufs[to] != nil {
 				s.release(s.bufs[to])
 				s.bufs[to] = nil
+			}
+		}
+		// Parked in-flight batches were never accepted by the transport,
+		// so their buffers are still ours to recycle.
+		for to := range s.pending {
+			if s.pending[to].Edges != nil {
+				s.release(s.pending[to].Edges)
+				s.pending[to] = Message{}
 			}
 		}
 		return context.Cause(c.ctx)

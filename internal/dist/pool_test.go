@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kronlab/internal/graph"
+)
+
+// TestClusterBufPoolStress hammers the sharded package freelist with the
+// engine's three concurrent access patterns at once: the single
+// get/recycle path (Cluster.getBuf/putBuf), the shipper's bulk
+// refill/spill (poolFill/poolSpill through a rank-local spare stack),
+// and cross-shard stealing — more simulated ranks than poolShards, so
+// home shards collide and the steal-on-miss walk runs hot. Meant for
+// -race (the cluster CI job runs it there): an unguarded shard mutation
+// or a double-handed-out buffer shows up as a race or as payload
+// corruption. Afterwards every checked-out buffer must be back
+// (OutstandingBufs exactly zero).
+func TestClusterBufPoolStress(t *testing.T) {
+	const (
+		ranks = 4 * poolShards // force home-shard collisions
+		iters = 500
+	)
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan string, ranks)
+	for rk := 0; rk < ranks; rk++ {
+		wg.Add(1)
+		go func(rk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + rk)))
+			shard := shardFor(rk)
+			stamp := int64(rk) << 32
+
+			// Buffers checked out via getBuf, each stamped with an
+			// owner-unique sentinel so a buffer handed to two goroutines
+			// at once is caught as corruption even outside a race window.
+			var held [][]graph.Edge
+			// The shipper economy: shard → spare (poolFill, unaccounted),
+			// spare → shard (poolSpill). Kept disjoint from held, exactly
+			// as the exchange keeps them.
+			var spare [][]graph.Edge
+
+			for i := 0; i < iters; i++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // check out and stamp
+					b := c.getBuf(rk, DefaultBatchSize)
+					if len(b) != 0 {
+						fail <- "getBuf returned a non-reset buffer"
+						return
+					}
+					b = append(b, graph.Edge{U: stamp + int64(i), V: stamp - int64(i)})
+					held = append(held, b)
+				case op < 8: // verify stamp and recycle
+					if len(held) == 0 {
+						continue
+					}
+					j := rng.Intn(len(held))
+					b := held[j]
+					if b[0].U>>32 != int64(rk) || b[0].U+b[0].V != 2*stamp {
+						fail <- "recycled buffer carries another owner's stamp — pool handed one buffer out twice"
+						return
+					}
+					held[j] = held[len(held)-1]
+					held = held[:len(held)-1]
+					c.putBuf(b)
+				case op < 9: // bulk refill, the shipper's spare-stack fill
+					if len(spare) < 8 {
+						spare = append(spare, poolFill(shard, nil, 8)...)
+					}
+				default: // bulk spill back to the home shard
+					if len(spare) > 0 {
+						poolSpill(shard, spare)
+						spare = nil
+					}
+				}
+			}
+			for _, b := range held {
+				c.putBuf(b)
+			}
+			poolSpill(shard, spare)
+		}(rk)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+	if out := c.Stats().OutstandingBufs; out != 0 {
+		t.Fatalf("pool stress leaked %d checked-out buffers", out)
+	}
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -137,6 +138,22 @@ func (c *countRankSink) Close() error {
 // O(batch) regardless of |E_C|. Route with an owner map that matches the
 // shard layout (OwnerBySource, the store's BySource) so readers can
 // address shards; Finalize writes the manifest once the run succeeds.
+//
+// Flushing is asynchronous: each rank's sink hands whole pooled blocks
+// of contiguous 16-byte records to a per-shard writer goroutine
+// (phase=sink-flush in profiles), so disk latency overlaps expansion
+// instead of stalling it. The handoff queue is bounded — a rank that
+// outruns its disk blocks on the enqueue, which is the backpressure. A
+// write error is latched and surfaces on the next StoreBlock/Store call
+// (tearing the run down through the engine's sink-error path) and again
+// at Close, so a failed flush can never silently drop edges.
+//
+// Exactly-once under recovery follows the stream sink's precedent:
+// edges count as stored once buffered, and both the staging block and
+// the writer goroutine belong to the sink instance, which survives run
+// attempts (supervision defers Close to the end of the whole run) — so
+// every edge a checkpoint counted is either on disk or still in this
+// pipeline, and replayed duplicates are fenced off before they reach it.
 type StoreSink struct {
 	Dir    string
 	counts []int64
@@ -147,13 +164,31 @@ func NewStoreSink(dir string, r int) *StoreSink {
 	return &StoreSink{Dir: dir, counts: make([]int64, r)}
 }
 
+// sinkFlushRecords is the async sink's block size in edges: 4096 records
+// is 64 KiB of contiguous bytes per flush — the shard writer's bufio
+// size, so blocks pass through to the file in full-buffer writes.
+const sinkFlushRecords = 4096
+
+// sinkQueueDepth bounds the blocks in flight between a rank and its
+// shard writer. Small on purpose: the queue exists to overlap, not to
+// buffer the run — a rank more than sinkQueueDepth blocks ahead of its
+// disk blocks on the handoff (backpressure), holding per-rank sink
+// memory at O(sinkQueueDepth · sinkFlushRecords).
+const sinkQueueDepth = 4
+
 // Rank implements Sink; shard creation errors abort the run on all ranks.
 func (s *StoreSink) Rank(rk *Rank) (RankSink, error) {
 	sw, err := store.NewShardWriter(s.Dir, rk.ID())
 	if err != nil {
 		return nil, err
 	}
-	return &storeRankSink{s: s, id: rk.ID(), sw: sw}, nil
+	t := &storeRankSink{s: s, id: rk.ID(), sw: sw,
+		ch:   make(chan []graph.Edge, sinkQueueDepth),
+		free: make(chan []graph.Edge, sinkQueueDepth+1),
+		done: make(chan struct{}),
+		cur:  make([]graph.Edge, 0, sinkFlushRecords)}
+	go t.writeLoop()
+	return t, nil
 }
 
 // Finalize writes the manifest for a completed run and opens the store.
@@ -168,24 +203,112 @@ type storeRankSink struct {
 	s  *StoreSink
 	id int
 	sw *store.ShardWriter
+
+	ch   chan []graph.Edge // full blocks to the writer goroutine (FIFO)
+	free chan []graph.Edge // drained blocks coming back for reuse
+	done chan struct{}     // closed when the writer goroutine exits
+	cur  []graph.Edge      // staging block, owned by the rank goroutine
+
+	// werr is the writer goroutine's first error; it is written before
+	// failed is set, so any goroutine observing failed == true also
+	// observes werr (atomic store/load ordering).
+	werr   error
+	failed atomic.Bool
+}
+
+// writeLoop is the shard's flush goroutine: it drains whole blocks in
+// handoff order — per-shard write order equals acceptance order, which
+// is what keeps shard bytes deterministic — and keeps draining after an
+// error so a blocked rank is always released; post-error blocks are
+// discarded, the run is already doomed.
+func (t *storeRankSink) writeLoop() {
+	defer close(t.done)
+	pprof.SetGoroutineLabels(sinkFlushLabels)
+	for b := range t.ch {
+		if !t.failed.Load() {
+			if err := t.sw.AppendBlock(b); err != nil {
+				t.werr = err
+				t.failed.Store(true)
+			}
+		}
+		select {
+		case t.free <- b[:0]:
+		default: // pool full; let the GC take it
+		}
+	}
+}
+
+// handoff queues the staging block for the writer and checks out a
+// replacement. The enqueue blocks when the writer is sinkQueueDepth
+// blocks behind — the sink's backpressure.
+func (t *storeRankSink) handoff() error {
+	if t.failed.Load() {
+		return t.werr
+	}
+	if len(t.cur) == 0 {
+		return nil
+	}
+	t.ch <- t.cur
+	select {
+	case b := <-t.free:
+		t.cur = b
+	default:
+		t.cur = make([]graph.Edge, 0, sinkFlushRecords)
+	}
+	return nil
 }
 
 func (t *storeRankSink) Store(e graph.Edge) error {
-	return t.sw.Append(e.U, e.V)
+	if t.failed.Load() {
+		return t.werr
+	}
+	t.cur = append(t.cur, e)
+	if len(t.cur) >= sinkFlushRecords {
+		return t.handoff()
+	}
+	return nil
 }
 
 // StoreBlock implements BlockStorer, reporting how far a failing batch
-// got so checkpoint accounting stays exact.
+// got so checkpoint accounting stays exact. Edges count as stored once
+// staged (see the type comment); the block aliases an engine buffer, so
+// it is copied into the staging block here.
 func (t *storeRankSink) StoreBlock(edges []graph.Edge) (int64, error) {
-	for i, e := range edges {
-		if err := t.sw.Append(e.U, e.V); err != nil {
-			return int64(i), err
+	if t.failed.Load() {
+		return 0, t.werr
+	}
+	var stored int64
+	for len(edges) > 0 {
+		n := sinkFlushRecords - len(t.cur)
+		if n > len(edges) {
+			n = len(edges)
+		}
+		t.cur = append(t.cur, edges[:n]...)
+		stored += int64(n)
+		edges = edges[n:]
+		if len(t.cur) >= sinkFlushRecords {
+			if err := t.handoff(); err != nil {
+				return stored, err
+			}
 		}
 	}
-	return int64(len(edges)), nil
+	return stored, nil
 }
 
+// Close drains the pipeline: the staging remainder is queued, the writer
+// goroutine is joined, and only then is the shard flushed and counted —
+// so a successful Close means every accepted edge is on disk.
 func (t *storeRankSink) Close() error {
+	if len(t.cur) > 0 && !t.failed.Load() {
+		t.ch <- t.cur
+	}
+	t.cur = nil
+	close(t.ch)
+	<-t.done
+	if t.failed.Load() {
+		t.sw.Close()
+		return t.werr
+	}
 	t.s.counts[t.id] = t.sw.Count()
 	return t.sw.Close()
 }

@@ -130,6 +130,40 @@ func (t *Transport) SendBatch(ctx context.Context, b transport.Batch, progress f
 	}
 }
 
+// TrySendBatch implements transport.TrySender: a non-blocking SendBatch.
+// It accepts the batch only when the destination inbox has room right
+// now; a full inbox returns (false, nil) with the buffer left with the
+// caller, who retries after making progress. Self-addressed batches are
+// refused — the caller's inline receive path handles those without the
+// transport. Partition black-holing and the failure-detector verdict
+// behave exactly as in SendBatch, so double-buffered runs see the same
+// fault surface as blocking ones.
+func (t *Transport) TrySendBatch(b transport.Batch) (bool, error) {
+	select {
+	case <-t.dead:
+		return false, t.deadErr
+	default:
+	}
+	if b.Dest == b.From {
+		return false, nil
+	}
+	if t.partitioned[b.From].Load() || t.partitioned[b.Dest].Load() {
+		t.voidMu.Lock()
+		t.voided = append(t.voided, b)
+		t.voidMu.Unlock()
+		return true, nil
+	}
+	select {
+	case t.inboxes[b.Dest] <- b:
+		if d := int64(len(t.inboxes[b.Dest])); d > 0 {
+			atomicMax(&t.maxDepth, d)
+		}
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
 // TryRecv implements Transport.
 func (t *Transport) TryRecv(rank int) (transport.Batch, bool) {
 	select {

@@ -872,6 +872,49 @@ func (t *Transport) SendBatch(ctx context.Context, b transport.Batch, progress f
 	}
 }
 
+// TrySendBatch implements transport.TrySender: a non-blocking SendBatch.
+// Local destinations are accepted only when the in-process inbox has
+// room; remote ones only when the peer link's writer queue does. On
+// refusal the batch stays unserialized with the caller (the frame built
+// for a refused remote send goes straight back to the frame pool), so a
+// later retry re-encodes — refusals are rare enough that re-encoding is
+// cheaper than holding frames hostage to queue pressure.
+func (t *Transport) TrySendBatch(b transport.Batch) (bool, error) {
+	select {
+	case <-t.dead:
+		return false, t.err
+	default:
+	}
+	if b.Dest == b.From {
+		return false, nil
+	}
+	if t.rankProc[b.Dest] == t.cfg.Self {
+		inbox := t.inboxes[b.Dest-t.lo]
+		select {
+		case inbox <- b:
+			if d := int64(len(inbox)); d > 0 {
+				atomicMax(&t.maxDepth, d)
+			}
+			return true, nil
+		default:
+			return false, nil
+		}
+	}
+	l := t.links[t.rankProc[b.Dest]]
+	frame := wire.AppendBatch(framePool.Get().([]byte)[:0],
+		uint32(b.From), uint32(b.Dest), b.Epoch, int64(b.Tile), b.Edges, b.EOF)
+	select {
+	case l.outQ <- frame:
+		if t.cfg.Pool != nil {
+			t.cfg.Pool.Put(b.Edges)
+		}
+		return true, nil
+	default:
+		framePool.Put(frame[:0])
+		return false, nil
+	}
+}
+
 // TryRecv implements Transport.
 func (t *Transport) TryRecv(rank int) (transport.Batch, bool) {
 	select {

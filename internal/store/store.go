@@ -283,6 +283,7 @@ func parseField(line, name string) (int64, error) {
 type ShardWriter struct {
 	f     *os.File
 	buf   *bufio.Writer
+	scr   []byte // AppendBlock's encode scratch, reused across blocks
 	count int64
 }
 
@@ -306,6 +307,27 @@ func (sw *ShardWriter) Append(u, v int64) error {
 		return err
 	}
 	sw.count++
+	return nil
+}
+
+// AppendBlock writes a whole block of edges as one contiguous run of
+// 16-byte records — header-free, so the encoded block passes through the
+// bufio layer in large aligned writes (writev-shaped) instead of one
+// 16-byte Write per edge. The encode scratch is owned by the writer and
+// reused across blocks; callers retain ownership of edges.
+func (sw *ShardWriter) AppendBlock(edges []graph.Edge) error {
+	need := len(edges) * RecordSize
+	if cap(sw.scr) < need {
+		sw.scr = make([]byte, need)
+	}
+	scr := sw.scr[:need]
+	for i, e := range edges {
+		PutRecord(scr[i*RecordSize:], e.U, e.V)
+	}
+	if _, err := sw.buf.Write(scr); err != nil {
+		return err
+	}
+	sw.count += int64(len(edges))
 	return nil
 }
 

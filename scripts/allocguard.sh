@@ -2,15 +2,22 @@
 # Allocation regression guard for the end-to-end generation benchmarks
 # (two-factor and chain) and the TCP transport exchange benchmark.
 #
-# Runs BenchmarkE2Generate1D, BenchmarkE2GenerateChain and
-# BenchmarkTCPExchangeThroughput with -benchmem and compares allocs/op
-# per sub-benchmark against the newest committed BENCH_*.json snapshot
-# (chain rows come from the newest BENCH_*_chain.json, which may be an
-# older file than the overall newest snapshot). Fails when any
-# sub-benchmark allocates more than ALLOW× the snapshot figure (default
-# 1.2 — a 20% regression budget; allocs/op is deterministic enough that
-# this never flakes while still catching a reintroduced per-batch
-# allocation, in the engine, the tail fold, or on the wire path).
+# Runs BenchmarkE2Generate1D, BenchmarkE2GenerateChain,
+# BenchmarkThroughputSweep and BenchmarkTCPExchangeThroughput with
+# -benchmem and compares allocs/op per sub-benchmark against the newest
+# committed BENCH_*.json snapshot (chain rows come from the newest
+# BENCH_*_chain.json, multicore sweep rows from the newest
+# BENCH_*_multicore.json — either may be an older file than the overall
+# newest snapshot). Fails when any sub-benchmark allocates more than
+# ALLOW× the snapshot figure (default 1.2 — a 20% regression budget;
+# allocs/op is deterministic enough that this never flakes while still
+# catching a reintroduced per-batch allocation, in the engine, the tail
+# fold, or on the wire path).
+#
+# Record guard baselines with the same short regime the guard measures
+# under (BENCHTIME=10x scripts/bench.sh . ./internal/dist): cold-start
+# allocations amortize differently at long benchtimes, so a 1s snapshot
+# under-reports a 10x measurement by a few allocs/op on the small rows.
 #
 # Usage:
 #   scripts/allocguard.sh                 # guard against newest BENCH_*.json
@@ -22,13 +29,14 @@ cd "$(dirname "$0")/.."
 
 SNAPSHOT="${SNAPSHOT:-$(ls -1 BENCH_*.json 2>/dev/null | tail -1)}"
 CHAIN_SNAPSHOT="${CHAIN_SNAPSHOT:-$(ls -1 BENCH_*_chain.json 2>/dev/null | tail -1)}"
+MULTICORE_SNAPSHOT="${MULTICORE_SNAPSHOT:-$(ls -1 BENCH_*_multicore.json 2>/dev/null | tail -1)}"
 ALLOW="${ALLOW:-1.2}"
 if [ -z "$SNAPSHOT" ] || [ ! -f "$SNAPSHOT" ]; then
     echo "allocguard: no BENCH_*.json snapshot found" >&2
     exit 2
 fi
 
-echo "allocguard: baseline $SNAPSHOT${CHAIN_SNAPSHOT:+ + $CHAIN_SNAPSHOT}, budget ${ALLOW}x" >&2
+echo "allocguard: baseline $SNAPSHOT${CHAIN_SNAPSHOT:+ + $CHAIN_SNAPSHOT}${MULTICORE_SNAPSHOT:+ + $MULTICORE_SNAPSHOT}, budget ${ALLOW}x" >&2
 
 # Reassemble a JSON event stream into plain bench output: a benchmark's
 # name and its numbers usually arrive as separate events.
@@ -44,6 +52,9 @@ baseline() {
     if [ -n "$CHAIN_SNAPSHOT" ] && [ -f "$CHAIN_SNAPSHOT" ]; then
         extract "$CHAIN_SNAPSHOT" | grep '^BenchmarkE2GenerateChain' || true
     fi
+    if [ -n "$MULTICORE_SNAPSHOT" ] && [ -f "$MULTICORE_SNAPSHOT" ]; then
+        extract "$MULTICORE_SNAPSHOT" | grep '^BenchmarkThroughputSweep' || true
+    fi
 }
 
 CUR=$(mktemp) && BASE=$(mktemp)
@@ -55,10 +66,11 @@ if ! grep -q '^BenchmarkE2Generate1D' "$BASE"; then
 fi
 
 # benchtime 10x keeps the guard fast; allocs/op does not depend on the
-# iteration count once pools are warm. The TCP and chain guards only
-# bite when a snapshot contains comparable rows (older snapshots have
-# none; the join below skips them).
-go test -run '^$' -bench 'BenchmarkE2Generate1D|BenchmarkE2GenerateChain' -benchmem -benchtime 10x . >"$CUR"
+# iteration count once pools are warm. The TCP, chain and multicore
+# guards only bite when a snapshot contains comparable rows (older
+# snapshots have none, and a sweep row for a GOMAXPROCS the other
+# machine lacks has no counterpart; the join below skips them).
+go test -run '^$' -bench 'BenchmarkE2Generate1D|BenchmarkE2GenerateChain|BenchmarkThroughputSweep' -benchmem -benchtime 10x . >"$CUR"
 go test -run '^$' -bench 'BenchmarkTCPExchangeThroughput' -benchmem -benchtime 10x ./internal/dist/ >>"$CUR"
 
 awk -v allow="$ALLOW" '

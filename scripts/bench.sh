@@ -6,7 +6,12 @@
 #   scripts/bench.sh                 # all benchmark packages, full runs
 #   BENCHTIME=10x scripts/bench.sh   # shorter runs (passed to -benchtime)
 #   OUT=BENCH_foo.json scripts/bench.sh  # override the output file name
+#   BENCH=ThroughputSweep scripts/bench.sh  # only matching benchmarks
 #   scripts/bench.sh ./internal/dist # only the named packages
+#
+# The multicore throughput sweep snapshot (committed as
+# BENCH_<date>_multicore.json, diffed by scripts/benchcmp.sh -multicore):
+#   BENCH=ThroughputSweep OUT=BENCH_$(date +%Y-%m-%d)_multicore.json scripts/bench.sh .
 #
 # The output file is the unfiltered JSON event stream; extract the
 # benchmark lines with e.g.
@@ -17,6 +22,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
+BENCH="${BENCH:-.}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
 if [ "$#" -gt 0 ]; then
@@ -32,7 +38,7 @@ echo "writing $OUT" >&2
 
 # -run '^$' skips unit tests so only benchmarks execute.
 # shellcheck disable=SC2086
-go test -json -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" $PKGS >"$OUT"
+go test -json -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" $PKGS >"$OUT"
 
 grep -o '"Output":"Benchmark[^"]*' "$OUT" | sed 's/"Output":"//; s/\\n$//; s/\\t/\t/g' >&2
 echo "done: $OUT" >&2

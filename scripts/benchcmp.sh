@@ -4,14 +4,26 @@
 #
 # Usage:
 #   scripts/benchcmp.sh OLD.json NEW.json
+#   scripts/benchcmp.sh -multicore   # two newest BENCH_*_multicore.json
 #   make benchcmp                # compares the two newest BENCH_*.json
 #
 # Uses benchstat when it is on PATH (proper statistics across -count
-# repetitions); otherwise falls back to an awk delta table of ns/op and
-# allocs/op per benchmark, flagging changes beyond ±5%.
+# repetitions); otherwise falls back to an awk delta table of ns/op,
+# edges/s (when reported, as the throughput sweep does) and allocs/op
+# per benchmark, flagging changes beyond ±5%.
 set -eu
 
-if [ "$#" -ne 2 ]; then
+if [ "$#" -eq 1 ] && [ "$1" = "-multicore" ]; then
+    # The two newest multicore throughput-sweep snapshots, oldest first:
+    # the edges/sec diff across BENCH_*_multicore.json generations.
+    cd "$(dirname "$0")/.."
+    set -- $(ls -1 BENCH_*_multicore.json 2>/dev/null | tail -2)
+    if [ "$#" -ne 2 ]; then
+        echo "usage: scripts/benchcmp.sh -multicore needs ≥2 BENCH_*_multicore.json snapshots" >&2
+        exit 2
+    fi
+    echo "comparing $1 → $2" >&2
+elif [ "$#" -ne 2 ]; then
     # Default: the two newest snapshots in the repo root, oldest first.
     cd "$(dirname "$0")/.."
     set -- $(ls -1 BENCH_*.json 2>/dev/null | tail -2)
@@ -45,29 +57,40 @@ if command -v benchstat >/dev/null 2>&1; then
     exit 0
 fi
 
-# Fallback: join on benchmark name, print old/new ns/op and allocs/op
-# with percentage deltas. Only benchmarks present in both files appear.
+# Fallback: join on benchmark name, print old/new ns/op, edges/s (when a
+# benchmark reports the rate metric, as the throughput sweep does) and
+# allocs/op with percentage deltas. Only benchmarks present in both
+# files appear. For edges/s higher is better, so the regression flag is
+# inverted relative to ns/op.
 awk '
 function pct(o, n) { return o > 0 ? sprintf("%+.1f%%", (n - o) * 100 / o) : "n/a" }
 function flag(o, n) { return (o > 0 && (n - o) / o > 0.05) ? " !" : ((o > 0 && (o - n) / o > 0.05) ? " *" : "") }
+function rflag(o, n) { return (o > 0 && (o - n) / o > 0.05) ? " !" : ((o > 0 && (n - o) / o > 0.05) ? " *" : "") }
 {
     name = $1
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") ns[FILENAME, name] = $(i - 1)
+        if ($(i) == "edges/s") es[FILENAME, name] = $(i - 1)
         if ($(i) == "allocs/op") al[FILENAME, name] = $(i - 1)
     }
     if (FILENAME == ARGV[1]) { if (!(name in seen)) order[++n_] = name; seen[name] = 1 }
 }
 END {
-    printf "%-50s %14s %14s %9s %10s %10s %9s\n",
-        "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"
+    printf "%-50s %14s %14s %9s %13s %13s %9s %10s %10s %9s\n",
+        "benchmark", "old ns/op", "new ns/op", "delta",
+        "old edges/s", "new edges/s", "delta", "old allocs", "new allocs", "delta"
     for (i = 1; i <= n_; i++) {
         name = order[i]
         o = ns[ARGV[1], name]; n = ns[ARGV[2], name]
         if (o == "" || n == "") continue
+        oe = es[ARGV[1], name]; ne = es[ARGV[2], name]
         oa = al[ARGV[1], name]; na = al[ARGV[2], name]
-        printf "%-50s %14.0f %14.0f %8s%s %10d %10d %8s%s\n",
-            name, o, n, pct(o, n), flag(o, n), oa, na, pct(oa, na), flag(oa, na)
+        if (oe != "" && ne != "")
+            efield = sprintf("%13.4g %13.4g %8s%s", oe, ne, pct(oe, ne), rflag(oe, ne))
+        else
+            efield = sprintf("%13s %13s %9s", "-", "-", "-")
+        printf "%-50s %14.0f %14.0f %8s%s %s %10d %10d %8s%s\n",
+            name, o, n, pct(o, n), flag(o, n), efield, oa, na, pct(oa, na), flag(oa, na)
     }
     print ""
     print "(! = >5% regression, * = >5% improvement; install benchstat for proper statistics)"
